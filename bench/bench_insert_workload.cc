@@ -1,0 +1,78 @@
+// Section 6.2(b) — insert-heavy workloads, the one case where the paper
+// predicts the ID-based approach *loses*, boundedly: maintaining the
+// intermediate cache costs one extra access per tuple inserted into V_spj
+// (speedup ≥ a/(a+k), k = cache tuples per base diff tuple). This bench
+// sweeps the insert:update mix on the aggregate running-example view and
+// prints the measured ratio next to the bound.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/cost_model.h"
+
+int main() {
+  using namespace idivm;
+  using namespace idivm::bench;
+
+  std::printf("\nSection 6.2(b): insert-heavy workloads (aggregate view, "
+              "200 modifications total)\n\n");
+  std::printf("%-22s %10s %12s %10s %14s\n", "mix (ins/del/upd)", "ID-acc",
+              "Tuple-acc", "speedup", "bound a/(a+k)");
+
+  struct Mix {
+    int64_t inserts, deletes, updates;
+  };
+  const Mix mixes[] = {
+      {0, 0, 200}, {50, 0, 150}, {100, 0, 100}, {150, 0, 50}, {200, 0, 0},
+      {100, 100, 0}};
+
+  for (const Mix& mix : mixes) {
+    auto run = [&](bool id_based) -> MaintainResult {
+      Database db;
+      DevicesPartsConfig config;
+      DevicesPartsWorkload workload(&db, config);
+      std::unique_ptr<Maintainer> id;
+      std::unique_ptr<TupleIvm> tuple;
+      if (id_based) {
+        id = std::make_unique<Maintainer>(
+            &db, CompileView("vp", workload.AggViewPlan(), db));
+      } else {
+        tuple = std::make_unique<TupleIvm>(&db, "vp",
+                                           workload.AggViewPlan());
+      }
+      ModificationLogger logger(&db);
+      workload.ApplyMixedChanges(&logger, mix.inserts, mix.deletes,
+                                 mix.updates);
+      db.stats().Reset();
+      return id_based ? id->Maintain(logger.NetChanges())
+                      : tuple->Maintain(logger.NetChanges());
+    };
+    const MaintainResult id = run(true);
+    const MaintainResult tuple = run(false);
+    const double id_acc =
+        static_cast<double>(id.TotalAccesses().TotalAccesses());
+    const double tuple_acc =
+        static_cast<double>(tuple.TotalAccesses().TotalAccesses());
+    // Estimate a and k from the measurements for the bound.
+    const double n = 200;
+    const double a = static_cast<double>(
+                         tuple.diff_computation.accesses.TotalAccesses()) /
+                     n;
+    const double k = static_cast<double>(
+                         id.cache_update.accesses.tuple_writes) /
+                     n;
+    char label[40];
+    std::snprintf(label, sizeof(label), "%lld/%lld/%lld",
+                  static_cast<long long>(mix.inserts),
+                  static_cast<long long>(mix.deletes),
+                  static_cast<long long>(mix.updates));
+    std::printf("%-22s %10.0f %12.0f %9.2fx %14.2f\n", label, id_acc,
+                tuple_acc, tuple_acc / id_acc, InsertBoundSpeedup(a, k));
+  }
+  std::printf(
+      "\nReading: pure updates give the Fig. 12 speedup; as inserts take "
+      "over, the ratio falls toward the bounded a/(a+k) region — \"even "
+      "this loss is bounded and we expect it to not be significant in "
+      "practice\" (Sec. 6.2).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Footnote 9 — "Similar trends can be observed for diff sizes up to 15,000
+// tuples. This is the point where it is beneficial to recompute the view
+// rather than apply IVM." This bench sweeps the diff size until incremental
+// maintenance costs as much as recomputation, locating the crossover for
+// this engine and data scale.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace idivm;
+  using namespace idivm::bench;
+
+  DevicesPartsConfig config;
+
+  // Cost of full recomputation (scan all base tables once + rebuild).
+  int64_t recompute_cost = 0;
+  {
+    Database db;
+    DevicesPartsWorkload workload(&db, config);
+    EvalContext ctx;
+    ctx.db = &db;
+    db.stats().Reset();
+    Evaluate(workload.AggViewPlan(), ctx);
+    recompute_cost = db.stats().TotalAccesses();
+  }
+
+  std::printf("\nFootnote 9: IVM vs recompute crossover\n");
+  std::printf("full recomputation reads %lld data accesses\n\n",
+              static_cast<long long>(recompute_cost));
+  std::printf("%-8s %12s %12s %10s\n", "d", "IVM-acc", "recompute",
+              "IVM wins?");
+
+  bool crossed = false;
+  for (int64_t d : {100, 500, 1000, 2000, 5000, 10000, 15000, 20000}) {
+    if (d > DevicesPartsConfig().num_parts) break;
+    const EngineResult id = RunIdIvm(config, d);
+    const bool wins = id.TotalAccesses() < recompute_cost;
+    std::printf("%-8lld %12lld %12lld %10s\n", static_cast<long long>(d),
+                static_cast<long long>(id.TotalAccesses()),
+                static_cast<long long>(recompute_cost),
+                wins ? "yes" : "NO");
+    if (!wins && !crossed) {
+      crossed = true;
+      std::printf("  -> crossover reached near d = %lld (paper: ~15,000 at "
+                  "its 25x larger scale)\n",
+                  static_cast<long long>(d));
+    }
+  }
+  if (!crossed) {
+    std::printf("\nIVM stays cheaper than recomputation for every feasible "
+                "diff size at this scale (updates touch at most all %lld "
+                "parts).\n",
+                static_cast<long long>(config.num_parts));
+  }
+  return 0;
+}

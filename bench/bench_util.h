@@ -1,0 +1,103 @@
+// Shared bench harness: runs one maintenance experiment per engine
+// (ID-based idIVM, tuple-based IVM, SDBT variants) on fresh database copies
+// and prints paper-style rows. Costs are reported both in the Section 6
+// cost-model unit (tuple accesses + index lookups) and wall-clock seconds.
+
+#ifndef IDIVM_BENCH_BENCH_UTIL_H_
+#define IDIVM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/compose.h"
+#include "src/core/maintainer.h"
+#include "src/core/modification_log.h"
+#include "src/sdbt/sdbt.h"
+#include "src/tivm/tuple_ivm.h"
+#include "src/workload/devices_parts.h"
+
+namespace idivm::bench {
+
+struct EngineResult {
+  std::string engine;
+  MaintainResult result;
+
+  int64_t TotalAccesses() const {
+    return result.TotalAccesses().TotalAccesses();
+  }
+  double TotalSeconds() const { return result.TotalSeconds(); }
+};
+
+// Runs idIVM on a fresh devices/parts database.
+inline EngineResult RunIdIvm(const DevicesPartsConfig& config, int64_t d,
+                             bool with_selection = true,
+                             const CompilerOptions& options = {}) {
+  Database db;
+  DevicesPartsWorkload workload(&db, config);
+  Maintainer m(&db,
+               CompileView("vp", workload.AggViewPlan(with_selection), db,
+                           options));
+  ModificationLogger logger(&db);
+  workload.ApplyPriceUpdates(&logger, d);
+  db.stats().Reset();
+  return {"ID-based IVM", m.Maintain(logger.NetChanges())};
+}
+
+inline EngineResult RunTupleIvm(const DevicesPartsConfig& config, int64_t d,
+                                bool with_selection = true) {
+  Database db;
+  DevicesPartsWorkload workload(&db, config);
+  TupleIvm tivm(&db, "vp", workload.AggViewPlan(with_selection));
+  ModificationLogger logger(&db);
+  workload.ApplyPriceUpdates(&logger, d);
+  db.stats().Reset();
+  return {"Tuple-based IVM", tivm.Maintain(logger.NetChanges())};
+}
+
+inline EngineResult RunSdbt(const DevicesPartsConfig& config, int64_t d,
+                            SdbtDevicesParts::Mode mode,
+                            bool with_selection = true) {
+  Database db;
+  DevicesPartsWorkload workload(&db, config);
+  SdbtDevicesParts sdbt(&db, config, "vp", mode, with_selection);
+  ModificationLogger logger(&db);
+  workload.ApplyPriceUpdates(&logger, d);
+  db.stats().Reset();
+  return {mode == SdbtDevicesParts::Mode::kFixed ? "SDBT-fixed"
+                                                 : "SDBT-streams",
+          sdbt.Maintain(logger.NetChanges())};
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& param_name) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+  std::printf(
+      "%-8s %-16s %12s %12s %12s %12s %10s\n", param_name.c_str(), "engine",
+      "diff-comp", "cache-upd", "view-upd", "total-acc", "ms");
+}
+
+inline void PrintRow(const std::string& param, const EngineResult& r) {
+  std::printf("%-8s %-16s %12lld %12lld %12lld %12lld %10.2f\n",
+              param.c_str(), r.engine.c_str(),
+              static_cast<long long>(
+                  r.result.diff_computation.accesses.TotalAccesses()),
+              static_cast<long long>(
+                  r.result.cache_update.accesses.TotalAccesses()),
+              static_cast<long long>(
+                  r.result.view_update.accesses.TotalAccesses()),
+              static_cast<long long>(r.TotalAccesses()),
+              r.TotalSeconds() * 1000.0);
+}
+
+inline void PrintSpeedupLine(const std::string& param, double accesses_ratio,
+                             double time_ratio) {
+  std::printf("%-8s speedup (tuple/ID): %.2fx by accesses, %.2fx by time\n",
+              param.c_str(), accesses_ratio, time_ratio);
+}
+
+}  // namespace idivm::bench
+
+#endif  // IDIVM_BENCH_BENCH_UTIL_H_

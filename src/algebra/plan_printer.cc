@@ -1,0 +1,84 @@
+#include "src/algebra/plan_printer.h"
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+namespace {
+
+std::string NodeLabel(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      return StrCat("SCAN ", node.table_name(),
+                    node.state() == StateTag::kPre ? " [pre]" : "");
+    case PlanKind::kRelationRef:
+      return StrCat("REF ", node.ref_name());
+    case PlanKind::kSelect:
+      return StrCat("σ[", node.predicate()->ToString(), "]");
+    case PlanKind::kProject: {
+      std::vector<std::string> parts;
+      for (const ProjectItem& item : node.project_items()) {
+        if (item.expr->kind() == ExprKind::kColumn &&
+            item.expr->column_name() == item.name) {
+          parts.push_back(item.name);
+        } else {
+          parts.push_back(StrCat(item.expr->ToString(), "→", item.name));
+        }
+      }
+      return StrCat("π[", Join(parts, ", "), "]");
+    }
+    case PlanKind::kJoin:
+      return StrCat("⋈[", node.predicate()->ToString(), "]");
+    case PlanKind::kSemiJoin:
+      return StrCat("⋉[", node.predicate()->ToString(), "]");
+    case PlanKind::kAntiSemiJoin:
+      return StrCat("⋉̄[", node.predicate()->ToString(), "]");
+    case PlanKind::kUnionAll:
+      return StrCat("∪all[b=", node.branch_column(), "]");
+    case PlanKind::kMaterialize:
+      return "MAT";
+    case PlanKind::kCoalesceProbe:
+      return StrCat("COALESCE-PROBE[", node.table_name(), "]");
+    case PlanKind::kAggregate: {
+      std::vector<std::string> aggs;
+      for (const AggSpec& agg : node.aggregates()) {
+        aggs.push_back(StrCat(AggFuncName(agg.func), "(",
+                              agg.arg == nullptr ? "*" : agg.arg->ToString(),
+                              ")→", agg.name));
+      }
+      return StrCat("γ[", Join(node.group_by(), ", "), "; ",
+                    Join(aggs, ", "), "]");
+    }
+  }
+  IDIVM_UNREACHABLE("bad PlanKind");
+}
+
+void PrintTree(const PlanPtr& plan, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(NodeLabel(*plan));
+  out->append("\n");
+  for (const PlanPtr& child : plan->children()) {
+    PrintTree(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanPtr& plan) {
+  if (plan->children().empty()) return NodeLabel(*plan);
+  std::vector<std::string> children;
+  children.reserve(plan->children().size());
+  for (const PlanPtr& child : plan->children()) {
+    children.push_back(PlanToString(child));
+  }
+  return StrCat(NodeLabel(*plan), "(", Join(children, ", "), ")");
+}
+
+std::string PlanToTreeString(const PlanPtr& plan) {
+  std::string out;
+  PrintTree(plan, 0, &out);
+  return out;
+}
+
+}  // namespace idivm

@@ -1,0 +1,21 @@
+// Human-readable rendering of algebra plans, used by examples, the ∆-script
+// printer and test diagnostics.
+
+#ifndef IDIVM_ALGEBRA_PLAN_PRINTER_H_
+#define IDIVM_ALGEBRA_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "src/algebra/plan.h"
+
+namespace idivm {
+
+// One-line rendering, e.g. "π[did, cost](γ[did; sum(price)→cost](...))".
+std::string PlanToString(const PlanPtr& plan);
+
+// Indented multi-line tree rendering.
+std::string PlanToTreeString(const PlanPtr& plan);
+
+}  // namespace idivm
+
+#endif  // IDIVM_ALGEBRA_PLAN_PRINTER_H_

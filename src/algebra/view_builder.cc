@@ -1,0 +1,132 @@
+#include "src/algebra/view_builder.h"
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+AggSpec Sum(ExprPtr arg, std::string name) {
+  return {AggFunc::kSum, std::move(arg), std::move(name)};
+}
+AggSpec Count(std::string name) {
+  return {AggFunc::kCount, nullptr, std::move(name)};
+}
+AggSpec CountOf(ExprPtr arg, std::string name) {
+  return {AggFunc::kCount, std::move(arg), std::move(name)};
+}
+AggSpec Avg(ExprPtr arg, std::string name) {
+  return {AggFunc::kAvg, std::move(arg), std::move(name)};
+}
+AggSpec Min(ExprPtr arg, std::string name) {
+  return {AggFunc::kMin, std::move(arg), std::move(name)};
+}
+AggSpec Max(ExprPtr arg, std::string name) {
+  return {AggFunc::kMax, std::move(arg), std::move(name)};
+}
+
+namespace {
+
+PlanPtr AliasedScan(const Database& db, const std::string& table,
+                    const std::string& alias) {
+  const Schema& schema = db.GetTable(table).schema();
+  std::vector<ProjectItem> items;
+  for (const ColumnDef& col : schema.columns()) {
+    items.push_back({Col(col.name), StrCat(alias, "_", col.name)});
+  }
+  return PlanNode::Project(PlanNode::Scan(table), std::move(items));
+}
+
+}  // namespace
+
+ViewBuilder::ViewBuilder(const Database& db) : db_(db) {}
+
+ViewBuilder& ViewBuilder::From(const std::string& table) {
+  IDIVM_CHECK(plan_ == nullptr, "From() must start the pipeline");
+  plan_ = PlanNode::Scan(table);
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::FromAliased(const std::string& table,
+                                      const std::string& alias) {
+  IDIVM_CHECK(plan_ == nullptr, "From() must start the pipeline");
+  plan_ = AliasedScan(db_, table, alias);
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::NaturalJoin(const std::string& table) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = ::idivm::NaturalJoin(plan_, PlanNode::Scan(table), db_);
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::Join(const std::string& table, ExprPtr condition) {
+  return Join(PlanNode::Scan(table), std::move(condition));
+}
+
+ViewBuilder& ViewBuilder::JoinAliased(const std::string& table,
+                                      const std::string& alias,
+                                      ExprPtr condition) {
+  return Join(AliasedScan(db_, table, alias), std::move(condition));
+}
+
+ViewBuilder& ViewBuilder::Join(PlanPtr right, ExprPtr condition) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::Join(plan_, std::move(right), std::move(condition));
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::Where(ExprPtr predicate) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::Select(plan_, std::move(predicate));
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::Select(const std::vector<std::string>& columns) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = ProjectColumns(plan_, columns);
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::SelectItems(std::vector<ProjectItem> items) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::Project(plan_, std::move(items));
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::ExceptMatching(const std::string& table,
+                                         ExprPtr condition) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::AntiSemiJoin(plan_, PlanNode::Scan(table),
+                                 std::move(condition));
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::KeepMatching(const std::string& table,
+                                       ExprPtr condition) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::SemiJoin(plan_, PlanNode::Scan(table),
+                             std::move(condition));
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::UnionAllWith(PlanPtr right,
+                                       const std::string& branch_column) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::UnionAll(plan_, std::move(right), branch_column);
+  return *this;
+}
+
+ViewBuilder& ViewBuilder::GroupBy(
+    const std::vector<std::string>& group_columns,
+    std::vector<AggSpec> aggregates) {
+  IDIVM_CHECK(plan_ != nullptr, "call From() first");
+  plan_ = PlanNode::Aggregate(plan_, group_columns, std::move(aggregates));
+  return *this;
+}
+
+PlanPtr ViewBuilder::Build() {
+  IDIVM_CHECK(plan_ != nullptr, "empty builder");
+  return std::move(plan_);
+}
+
+}  // namespace idivm

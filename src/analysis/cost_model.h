@@ -1,0 +1,59 @@
+// The Section 6 / Appendix A analytical cost model.
+//
+// Costs are measured in combined tuple accesses + index lookups. For a base
+// diff of size |D| on table R of an SPJ view V_spj:
+//   ID-based:    |D| view-index lookups + |D|·p view tuple accesses
+//   tuple-based: |D|·a diff computation + |D|·p lookups + |D|·p accesses
+// where p = |D_V|/|∆_V| (i-diff compression factor) and a = average accesses
+// per base-diff tuple in the diff-driven loop plan. Speedup (a+2p)/(1+p)
+// (Eq. 1). For aggregate views with an intermediate cache, Table 3 gives
+// speedup (a+2pg)/(1+p+2pg) (Eq. 2), g = |Du_Vagg|/|Du_Vspj|.
+//
+// Benches use these to print paper-vs-measured rows: the measured parameters
+// (p, a, g) are extracted from instrumented runs and plugged into the
+// formulas.
+
+#ifndef IDIVM_ANALYSIS_COST_MODEL_H_
+#define IDIVM_ANALYSIS_COST_MODEL_H_
+
+#include <string>
+
+namespace idivm {
+
+struct SpjCostModel {
+  double d = 0;  // |D_R|: base diff tuples
+  double p = 0;  // i-diff compression factor |D_V|/|∆_V|
+  double a = 0;  // tuple-based accesses per base diff tuple
+
+  // Predicted total accesses (Table 2, update diffs on non-conditional
+  // attributes, diff-driven loop plan).
+  double IdBasedCost() const { return d * (1 + p); }
+  double TupleBasedCost() const { return d * (a + 2 * p); }
+  // Eq. (1).
+  double SpeedupRatio() const { return (a + 2 * p) / (1 + p); }
+};
+
+struct AggCostModel {
+  double d = 0;  // |D_R|
+  double p = 0;  // compression factor at the SPJ subview
+  double a = 0;  // tuple-based accesses per base diff tuple (SPJ part)
+  double g = 0;  // grouping compression factor |Du_Vagg|/|Du_Vspj|
+
+  // Predicted total accesses (Table 3).
+  double IdBasedCost() const { return d * (1 + p + 2 * p * g); }
+  double TupleBasedCost() const { return d * (a + 2 * p * g); }
+  // Eq. (2).
+  double SpeedupRatio() const { return (a + 2 * p * g) / (1 + p + 2 * p * g); }
+};
+
+// Insert-heavy bound of Section 6.2 (k = tuples created in V_spj per base
+// diff tuple): speedup (a+x)/(a+k+x), ignoring the shared grouping cost x.
+double InsertBoundSpeedup(double a, double k);
+
+// Formats a "paper-vs-measured" comparison line for bench output.
+std::string FormatModelRow(const std::string& label, double predicted,
+                           double measured);
+
+}  // namespace idivm
+
+#endif  // IDIVM_ANALYSIS_COST_MODEL_H_

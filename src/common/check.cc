@@ -1,0 +1,16 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace idivm::internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::fprintf(stderr, "[idivm fatal] %s:%d: check failed: %s%s%s\n", file,
+               line, expr, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace idivm::internal

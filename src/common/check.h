@@ -1,0 +1,45 @@
+// Lightweight assertion macros used across the idIVM codebase.
+//
+// The library treats violated invariants as programming errors: they print a
+// diagnostic (with file/line and an optional message) and abort. User-facing
+// validation (e.g., binding a view definition against a catalog) goes through
+// these checks too, because views are authored in C++ by the embedding
+// application; a malformed view is a bug in the embedding code.
+
+#ifndef IDIVM_COMMON_CHECK_H_
+#define IDIVM_COMMON_CHECK_H_
+
+#include <string>
+
+namespace idivm::internal {
+
+// Prints a fatal-check diagnostic and aborts. Never returns.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+// Overloads so IDIVM_CHECK works with or without a message argument.
+inline std::string CheckMessage() { return std::string(); }
+inline std::string CheckMessage(std::string message) { return message; }
+inline std::string CheckMessage(const char* message) {
+  return std::string(message);
+}
+
+}  // namespace idivm::internal
+
+// Aborts with a diagnostic when `cond` is false. `...` is an optional
+// std::string (or string-convertible) message evaluated only on failure.
+#define IDIVM_CHECK(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::idivm::internal::CheckFail(                                     \
+          __FILE__, __LINE__, #cond,                                    \
+          ::idivm::internal::CheckMessage(__VA_ARGS__));                \
+    }                                                                   \
+  } while (false)
+
+// Marks an unreachable code path.
+#define IDIVM_UNREACHABLE(msg)                                        \
+  ::idivm::internal::CheckFail(__FILE__, __LINE__, "unreachable",      \
+                               ::std::string(msg))
+
+#endif  // IDIVM_COMMON_CHECK_H_

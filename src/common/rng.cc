@@ -1,0 +1,69 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace idivm {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& lane : state_) lane = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  IDIVM_CHECK(lo <= hi, "UniformInt requires lo <= hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  IDIVM_CHECK(k <= n, "SampleIndices requires k <= n");
+  // Partial Fisher-Yates over an index vector; fine at the scales we use.
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace idivm

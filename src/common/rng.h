@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. All experiments in the repo are reproducible because every
+// random source is an explicitly seeded Rng.
+
+#ifndef IDIVM_COMMON_RNG_H_
+#define IDIVM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace idivm {
+
+// A small, fast, deterministic generator (xoshiro256** seeded by splitmix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Picks a uniformly random element of `items`. Requires non-empty.
+  template <typename T>
+  const T& PickFrom(const std::vector<T>& items) {
+    IDIVM_CHECK(!items.empty(), "PickFrom on empty vector");
+    return items[static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  // Returns k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_COMMON_RNG_H_

@@ -1,0 +1,43 @@
+// Small string helpers (concatenation, joining) used for diagnostics,
+// plan printing and generated column names.
+
+#ifndef IDIVM_COMMON_STR_UTIL_H_
+#define IDIVM_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace idivm {
+
+namespace internal {
+
+inline void StrAppendImpl(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& out, const T& first,
+                   const Rest&... rest) {
+  out << first;
+  StrAppendImpl(out, rest...);
+}
+
+}  // namespace internal
+
+// Concatenates the streamable arguments into one std::string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  internal::StrAppendImpl(out, args...);
+  return out.str();
+}
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Formats a double compactly (trims trailing zeros, keeps integers clean).
+std::string FormatDouble(double v);
+
+}  // namespace idivm
+
+#endif  // IDIVM_COMMON_STR_UTIL_H_

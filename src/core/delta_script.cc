@@ -1,0 +1,70 @@
+#include "src/core/delta_script.h"
+
+#include "src/algebra/plan_printer.h"
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+const char* MaintPhaseName(MaintPhase phase) {
+  switch (phase) {
+    case MaintPhase::kDiffComputation:
+      return "diff-computation";
+    case MaintPhase::kCacheUpdate:
+      return "cache-update";
+    case MaintPhase::kViewUpdate:
+      return "view-update";
+  }
+  IDIVM_UNREACHABLE("bad MaintPhase");
+}
+
+const DiffSchema* DeltaScript::FindDiffSchema(const std::string& name) const {
+  for (const auto& [diff_name, schema] : diff_registry) {
+    if (diff_name == name) return &schema;
+  }
+  return nullptr;
+}
+
+std::string DeltaScript::ToString() const {
+  std::string out;
+  int line = 1;
+  for (const ScriptStep& step : steps) {
+    out += StrCat(line++, ". ");
+    if (step.compute.has_value()) {
+      out += StrCat(step.compute->out_name, " = ",
+                    PlanToString(step.compute->query), "\n     [",
+                    step.compute->rule, "]\n");
+    } else if (step.apply.has_value()) {
+      out += StrCat("APPLY ", step.apply->diff_name, " TO ",
+                    step.apply->target_table, " (",
+                    MaintPhaseName(step.apply->phase), ")");
+      if (!step.apply->returning_pre.empty() ||
+          !step.apply->returning_post.empty()) {
+        out += StrCat(" RETURNING pre→", step.apply->returning_pre,
+                      ", post→", step.apply->returning_post);
+      }
+      out += "\n";
+    } else if (step.aggregate.has_value()) {
+      const AggregateStep& agg = *step.aggregate;
+      std::vector<std::string> fns;
+      for (const AggSpec& spec : agg.aggs) {
+        fns.push_back(StrCat(AggFuncName(spec.func), "(",
+                             spec.arg == nullptr ? "*" : spec.arg->ToString(),
+                             ")→", spec.name));
+      }
+      out += StrCat("γ-MAINTAIN[", Join(agg.group_by, ", "), "; ",
+                    Join(fns, ", "), "] mode=",
+                    agg.mode == AggregateStep::Mode::kIncremental
+                        ? "incremental"
+                        : "recompute",
+                    agg.opcache_table.empty()
+                        ? ""
+                        : StrCat(" opcache=", agg.opcache_table),
+                    " → {", agg.out_update, ", ", agg.out_insert, ", ",
+                    agg.out_delete, "}\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace idivm

@@ -1,0 +1,126 @@
+// The ∆-script: the output of the 4-pass generation algorithm of Section 4.
+//
+// A script is an ordered list of steps executed at view-maintenance time:
+//   - ComputeDiffStep: a delta query (algebra plan over diff instances, base
+//     tables and caches) materializing one i-diff instance,
+//   - ApplyStep: APPLY ∆ᵗ on a stored table (cache or view), optionally with
+//     RETURNING capture (Appendix A.2),
+//   - AggregateStep: the native blocking aggregation rules (Tables 7, 9, 11,
+//     12) — consume all row-granularity input changes at once and emit up to
+//     three output diffs (update / insert / delete).
+//
+// Steps are ordered so that diffs exist before use, caches are updated before
+// the operators above read them, and at every apply site deletes precede
+// updates precede inserts.
+
+#ifndef IDIVM_CORE_DELTA_SCRIPT_H_
+#define IDIVM_CORE_DELTA_SCRIPT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/diff/diff_schema.h"
+
+namespace idivm {
+
+// Which stacked component of Fig. 12 a step's cost belongs to.
+enum class MaintPhase { kDiffComputation, kCacheUpdate, kViewUpdate };
+
+const char* MaintPhaseName(MaintPhase phase);
+
+struct ComputeDiffStep {
+  std::string out_name;
+  DiffSchema schema;
+  PlanPtr query;
+  std::string rule;  // instantiated-rule description (Fig. 6 DAG node)
+  // Names of the diffs this rule consumed (DAG edges).
+  std::vector<std::string> consumed;
+  // When true the result is a plain transient relation (e.g. the
+  // row-granularity γ inputs), not an i-diff: no Ī′ deduplication and
+  // `schema` is informational only.
+  bool raw_relation = false;
+};
+
+struct ApplyStep {
+  std::string diff_name;
+  std::string target_table;
+  MaintPhase phase = MaintPhase::kViewUpdate;
+  // RETURNING capture: names under which the pre-/post-images of touched
+  // target rows are registered as transient relations (empty = no capture).
+  std::string returning_pre;
+  std::string returning_post;
+};
+
+// Row-granularity input changes feeding an AggregateStep.
+struct AggregateInput {
+  DiffType type = DiffType::kUpdate;
+  // Transient relation names over the aggregate input's plain schema.
+  // Updates fill both (row-aligned); inserts only `post_rows`; deletes only
+  // `pre_rows`.
+  std::string pre_rows;
+  std::string post_rows;
+};
+
+struct AggregateStep {
+  enum class Mode {
+    // Blocking incremental rules for sum / count / avg (Tables 9, 11, 12):
+    // per-group deltas; groups whose cardinality changed are recomputed by
+    // probing the input's post state; avg uses a SUM+COUNT operator cache.
+    kIncremental,
+    // General recompute rule (Table 7): affected groups are recomputed from
+    // Input_post; handles any aggregate function.
+    kRecompute,
+  };
+
+  Mode mode = Mode::kIncremental;
+  std::string node_name;        // synthetic name of the γ operator's output
+  Schema input_schema;          // the aggregate input's plain schema
+  Schema output_schema;         // γ output schema
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggs;
+
+  // kIncremental: row-level changes (cache RETURNING or base-table probes).
+  std::vector<AggregateInput> inputs;
+  // kRecompute: the raw input diffs plus subview plans for both states.
+  std::vector<std::pair<std::string, DiffSchema>> input_diffs;
+
+  // Input subview (cache scan or child plan) for group recomputation /
+  // affected-group discovery.
+  PlanPtr input_post_plan;
+  PlanPtr input_pre_plan;
+
+  // Operator cache for AVG (Table 12): a table (Ḡ, <sum per spec>, __count).
+  // Empty when unused.
+  std::string opcache_table;
+
+  // Output diff names; empty when statically impossible. Schemas match the
+  // γ output: updates/deletes keyed on Ḡ, inserts full rows.
+  std::string out_update;
+  std::string out_insert;
+  std::string out_delete;
+};
+
+// One script step (exactly one member set).
+struct ScriptStep {
+  std::optional<ComputeDiffStep> compute;
+  std::optional<ApplyStep> apply;
+  std::optional<AggregateStep> aggregate;
+};
+
+struct DeltaScript {
+  std::vector<ScriptStep> steps;
+
+  // Registry: diff name -> schema, for the minimizer and the executor.
+  std::vector<std::pair<std::string, DiffSchema>> diff_registry;
+
+  const DiffSchema* FindDiffSchema(const std::string& name) const;
+
+  // Human-readable script (the paper's Fig. 7 style).
+  std::string ToString() const;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_DELTA_SCRIPT_H_

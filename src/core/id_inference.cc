@@ -1,0 +1,207 @@
+#include "src/core/id_inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+const std::vector<std::string>& IdAnnotatedPlan::IdsOf(
+    const PlanNode* node) const {
+  const auto it = ids.find(node);
+  IDIVM_CHECK(it != ids.end(), "node has no inferred IDs");
+  return it->second;
+}
+
+namespace {
+
+struct InferState {
+  const Database* db;
+  std::map<const PlanNode*, std::vector<std::string>>* ids;
+};
+
+// Returns the (possibly rewritten) node and records its IDs.
+PlanPtr Infer(const PlanPtr& plan, InferState& st,
+              std::vector<std::string>* out_ids) {
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      *out_ids = st.db->GetTable(plan->table_name()).key_columns();
+      (*st.ids)[plan.get()] = *out_ids;
+      return plan;
+    }
+    case PlanKind::kCoalesceProbe:
+      IDIVM_UNREACHABLE("view plans cannot contain probe nodes");
+    case PlanKind::kRelationRef: {
+      // Diff leaves: IDs are whatever key the enclosing context assigns;
+      // treat the full column list as the key (not used by view plans).
+      *out_ids = plan->ref_schema().ColumnNames();
+      (*st.ids)[plan.get()] = *out_ids;
+      return plan;
+    }
+    case PlanKind::kSelect: {
+      std::vector<std::string> child_ids;
+      PlanPtr child = Infer(plan->child(0), st, &child_ids);
+      PlanPtr node = PlanNode::Select(std::move(child), plan->predicate());
+      *out_ids = child_ids;
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+    case PlanKind::kProject: {
+      std::vector<std::string> child_ids;
+      PlanPtr child = Infer(plan->child(0), st, &child_ids);
+      // For each child ID, find a pass-through item; otherwise extend the
+      // projection with the missing ID column.
+      std::vector<ProjectItem> items = plan->project_items();
+      std::vector<std::string> my_ids;
+      for (const std::string& id : child_ids) {
+        bool found = false;
+        for (const ProjectItem& item : items) {
+          if (item.expr->kind() == ExprKind::kColumn &&
+              item.expr->column_name() == id) {
+            my_ids.push_back(item.name);  // possibly renamed
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          items.push_back({Col(id), id});
+          my_ids.push_back(id);
+        }
+      }
+      PlanPtr node = PlanNode::Project(std::move(child), std::move(items));
+      *out_ids = my_ids;
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+    case PlanKind::kJoin: {
+      std::vector<std::string> left_ids;
+      std::vector<std::string> right_ids;
+      PlanPtr left = Infer(plan->child(0), st, &left_ids);
+      PlanPtr right = Infer(plan->child(1), st, &right_ids);
+      // Table 1: ID = ID(R) ∪ ID(S). Two refinements:
+      //  - a right ID equated to a left column is functionally redundant —
+      //    use the left column instead (natural joins keep keys once);
+      //  - if *every* right ID is equated to a left column, the join is a
+      //    lookup (each left row determines at most one right partner), so
+      //    the left IDs alone key the output.
+      const Schema left_schema = InferSchema(left, *st.db);
+      const Schema right_schema = InferSchema(right, *st.db);
+      const std::set<std::string> left_cols =
+      left_schema.ColumnNameSet();
+      const std::set<std::string> right_cols =
+      right_schema.ColumnNameSet();
+      std::vector<std::pair<std::string, std::string>> equi;
+      ExtractEquiPairs(plan->predicate(), left_cols, right_cols, &equi);
+      PlanPtr node = PlanNode::Join(std::move(left), std::move(right),
+                                    plan->predicate());
+      auto fully_bound = [&](const std::vector<std::string>& ids,
+                             bool ids_on_right) {
+        for (const std::string& id : ids) {
+          bool bound = false;
+          for (const auto& [l, r] : equi) {
+            if ((ids_on_right ? r : l) == id) bound = true;
+          }
+          if (!bound) return false;
+        }
+        return !ids.empty();
+      };
+      if (fully_bound(right_ids, /*ids_on_right=*/true)) {
+        *out_ids = left_ids;
+      } else {
+        *out_ids = left_ids;
+        for (const std::string& id : right_ids) {
+          std::string resolved = id;
+          for (const auto& [l, r] : equi) {
+            if (r == id) {
+              resolved = l;
+              break;
+            }
+          }
+          if (std::find(out_ids->begin(), out_ids->end(), resolved) ==
+              out_ids->end()) {
+            out_ids->push_back(resolved);
+          }
+        }
+      }
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+    case PlanKind::kSemiJoin:
+    case PlanKind::kAntiSemiJoin: {
+      std::vector<std::string> left_ids;
+      std::vector<std::string> right_ids;
+      PlanPtr left = Infer(plan->child(0), st, &left_ids);
+      PlanPtr right = Infer(plan->child(1), st, &right_ids);
+      PlanPtr node =
+          plan->kind() == PlanKind::kSemiJoin
+              ? PlanNode::SemiJoin(std::move(left), std::move(right),
+                                   plan->predicate())
+              : PlanNode::AntiSemiJoin(std::move(left), std::move(right),
+                                       plan->predicate());
+      *out_ids = left_ids;
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+    case PlanKind::kUnionAll: {
+      std::vector<std::string> left_ids;
+      std::vector<std::string> right_ids;
+      PlanPtr left = Infer(plan->child(0), st, &left_ids);
+      PlanPtr right = Infer(plan->child(1), st, &right_ids);
+      PlanPtr node = PlanNode::UnionAll(std::move(left), std::move(right),
+                                        plan->branch_column());
+      *out_ids = left_ids;
+      for (const std::string& id : right_ids) {
+        if (std::find(out_ids->begin(), out_ids->end(), id) ==
+            out_ids->end()) {
+          out_ids->push_back(id);
+        }
+      }
+      out_ids->push_back(plan->branch_column());
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+    case PlanKind::kMaterialize: {
+      std::vector<std::string> child_ids;
+      PlanPtr child = Infer(plan->child(0), st, &child_ids);
+      PlanPtr node = PlanNode::Materialize(std::move(child));
+      *out_ids = child_ids;
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+    case PlanKind::kAggregate: {
+      std::vector<std::string> child_ids;
+      PlanPtr child = Infer(plan->child(0), st, &child_ids);
+      PlanPtr node = PlanNode::Aggregate(std::move(child), plan->group_by(),
+                                         plan->aggregates());
+      *out_ids = plan->group_by();
+      IDIVM_CHECK(!out_ids->empty(),
+                  "aggregates without GROUP BY are not maintainable "
+                  "ID-based views (no key)");
+      (*st.ids)[node.get()] = *out_ids;
+      return node;
+    }
+  }
+  IDIVM_UNREACHABLE("bad PlanKind");
+}
+
+}  // namespace
+
+IdAnnotatedPlan InferIds(const PlanPtr& plan, const Database& db) {
+  IdAnnotatedPlan out;
+  InferState st{&db, &out.ids};
+  std::vector<std::string> root_ids;
+  out.plan = Infer(plan, st, &root_ids);
+  // Validate that the inferred IDs exist in the output schema.
+  const Schema schema = InferSchema(out.plan, db);
+  for (const std::string& id : root_ids) {
+    IDIVM_CHECK(schema.HasColumn(id),
+                StrCat("inferred ID '", id, "' missing from view schema ",
+                       schema.ToString()));
+  }
+  return out;
+}
+
+}  // namespace idivm

@@ -1,0 +1,40 @@
+// Pass 1 of the ∆-script generator (Section 4): infer the ID attributes of
+// every intermediate subview using the Table 1 rules, and extend projections
+// that drop required IDs so that every subview's output contains a key.
+//
+//   Operator            Output ID attributes
+//   SCAN(R)             key(R)
+//   σφ(R)               ID(R)
+//   π_D̄(R)              ID(R)            (plan extended if IDs are missing)
+//   R × S / R ⋈φ S      ID(R) ∪ ID(S)
+//   R ⋉̄φ S (and ⋉)      ID(R)
+//   bag union R ∪ S     ID(R) ∪ ID(S) ∪ {b}
+//   γ_Ḡ,f(M̄)(R)         Ḡ
+
+#ifndef IDIVM_CORE_ID_INFERENCE_H_
+#define IDIVM_CORE_ID_INFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algebra/plan.h"
+
+namespace idivm {
+
+// A plan whose every node has known IDs. `plan` may differ from the input
+// plan (projections extended with ID columns, Section 4 Pass 1: "idIVM
+// automatically extends the plan to include the required ID attributes").
+struct IdAnnotatedPlan {
+  PlanPtr plan;
+  // IDs per node of `plan` (not of the original input plan).
+  std::map<const PlanNode*, std::vector<std::string>> ids;
+
+  const std::vector<std::string>& IdsOf(const PlanNode* node) const;
+};
+
+IdAnnotatedPlan InferIds(const PlanPtr& plan, const Database& db);
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_ID_INFERENCE_H_

@@ -1,0 +1,679 @@
+#include "src/core/maintainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "src/algebra/evaluator.h"
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+AccessStats MaintainResult::TotalAccesses() const {
+  AccessStats out = diff_computation.accesses;
+  out += cache_update.accesses;
+  out += view_update.accesses;
+  return out;
+}
+
+double MaintainResult::TotalSeconds() const {
+  return diff_computation.seconds + cache_update.seconds +
+         view_update.seconds;
+}
+
+std::string MaintainResult::ToString() const {
+  return StrCat("diff-computation: ", diff_computation.accesses.ToString(),
+                "\ncache-update:     ", cache_update.accesses.ToString(),
+                "\nview-update:      ", view_update.accesses.ToString(),
+                "\napplied ", diff_tuples_applied, " diff tuples, touched ",
+                rows_touched, " rows, ", dummy_tuples,
+                " dummy (overestimated) tuples");
+}
+
+namespace {
+
+void CollectPreStateTables(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan == nullptr) return;
+  if (plan->kind() == PlanKind::kScan && plan->state() == StateTag::kPre) {
+    out->insert(plan->table_name());
+  }
+  for (const PlanPtr& child : plan->children()) {
+    CollectPreStateTables(child, out);
+  }
+}
+
+// Reverse-applies net changes to a post-state snapshot, reconstructing the
+// pre-state relation (deferred IVM; see DESIGN.md "Pre-state
+// reconstruction").
+Relation ReconstructPreState(const Table& table,
+                             const std::vector<Modification>& net) {
+  Relation post = table.SnapshotUncounted();
+  const std::vector<size_t>& keys = table.key_indices();
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareRows(a, b) < 0;
+    }
+  };
+  // key -> (drop | replace-with-pre)
+  std::map<Row, std::optional<Row>, RowLess> adjust;
+  std::vector<Row> re_add;
+  for (const Modification& mod : net) {
+    switch (mod.kind) {
+      case DiffType::kInsert:
+        adjust[ProjectRow(mod.post, keys)] = std::nullopt;  // drop
+        break;
+      case DiffType::kUpdate:
+        adjust[ProjectRow(mod.post, keys)] = mod.pre;  // restore pre values
+        break;
+      case DiffType::kDelete:
+        re_add.push_back(mod.pre);
+        break;
+    }
+  }
+  Relation pre(post.schema());
+  for (Row& row : post.mutable_rows()) {
+    const auto it = adjust.find(ProjectRow(row, keys));
+    if (it == adjust.end()) {
+      pre.Append(std::move(row));
+    } else if (it->second.has_value()) {
+      pre.Append(*it->second);
+    }  // else: dropped (was inserted)
+  }
+  for (Row& row : re_add) pre.Append(std::move(row));
+  return pre;
+}
+
+// Casts a double aggregate value to the declared output column type.
+Value CastNumeric(DataType type, double v) {
+  if (type == DataType::kInt64) {
+    return Value(static_cast<int64_t>(std::llround(v)));
+  }
+  return Value(v);
+}
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareRows(a, b) < 0;
+  }
+};
+
+// Per-group accumulated deltas for the incremental γ rules.
+struct GroupDelta {
+  std::vector<double> sum_delta;     // per spec: Σ arg_post − Σ arg_pre
+  std::vector<int64_t> nonnull_delta;  // per spec: Δ(#non-null args)
+  int64_t row_delta = 0;             // Δ(group cardinality)
+};
+
+// Executes one AggregateStep. `transients` supplies the row-granularity
+// inputs and receives the emitted output diffs.
+class AggregateExecutor {
+ public:
+  AggregateExecutor(Database* db, const AggregateStep& step,
+                    std::map<std::string, Relation>* transients,
+                    EvalContext* ctx, MaintainResult* result)
+      : db_(db), step_(step), transients_(transients), ctx_(ctx),
+        result_(result) {}
+
+  void Run() {
+    BindSpecs();
+    AccumulateDeltas();
+    if (step_.mode == AggregateStep::Mode::kIncremental) {
+      if (!step_.opcache_table.empty()) {
+        RunIncrementalWithOpcache();
+      } else {
+        RunIncrementalDirect();
+      }
+    } else {
+      RunRecompute();
+    }
+    EmitOutputs();
+  }
+
+ private:
+  const Relation& Rows(const std::string& name) {
+    const auto it = transients_->find(name);
+    IDIVM_CHECK(it != transients_->end(),
+                StrCat("γ input rows missing: ", name));
+    return it->second;
+  }
+
+  void BindSpecs() {
+    group_cols_ = step_.input_schema.ColumnIndices(step_.group_by);
+    for (const AggSpec& spec : step_.aggs) {
+      if (spec.arg != nullptr) {
+        args_.emplace_back(BoundExpr(spec.arg, step_.input_schema));
+      } else {
+        args_.emplace_back(std::nullopt);
+      }
+    }
+    // Output diff skeletons.
+    const DiffSchema* upd = FindSchema(step_.out_update);
+    const DiffSchema* ins = FindSchema(step_.out_insert);
+    const DiffSchema* del = FindSchema(step_.out_delete);
+    IDIVM_CHECK(upd != nullptr && ins != nullptr && del != nullptr,
+                "aggregate output diffs not registered");
+    update_ = std::make_unique<DiffInstance>(*upd);
+    insert_ = std::make_unique<DiffInstance>(*ins);
+    delete_ = std::make_unique<DiffInstance>(*del);
+  }
+
+  const DiffSchema* FindSchema(const std::string& name) {
+    return script_schema_lookup_ != nullptr
+               ? script_schema_lookup_->FindDiffSchema(name)
+               : nullptr;
+  }
+
+ public:
+  void set_script(const DeltaScript* script) { script_schema_lookup_ = script; }
+
+ private:
+  void Contribute(const Row& row, double sign) {
+    Row key = ProjectRow(row, group_cols_);
+    GroupDelta& delta = deltas_[key];
+    if (delta.sum_delta.empty()) {
+      delta.sum_delta.resize(step_.aggs.size(), 0);
+      delta.nonnull_delta.resize(step_.aggs.size(), 0);
+    }
+    delta.row_delta += sign > 0 ? 1 : -1;
+    for (size_t k = 0; k < step_.aggs.size(); ++k) {
+      if (!args_[k].has_value()) {
+        delta.nonnull_delta[k] += sign > 0 ? 1 : -1;  // COUNT(*)
+        continue;
+      }
+      const Value v = args_[k]->Eval(row);
+      if (v.is_null()) continue;
+      delta.nonnull_delta[k] += sign > 0 ? 1 : -1;
+      if (v.is_numeric()) delta.sum_delta[k] += sign * v.NumericAsDouble();
+    }
+  }
+
+  void AccumulateDeltas() {
+    for (const AggregateInput& input : step_.inputs) {
+      switch (input.type) {
+        case DiffType::kInsert:
+          for (const Row& row : Rows(input.post_rows).rows()) {
+            Contribute(row, +1);
+          }
+          break;
+        case DiffType::kDelete:
+          for (const Row& row : Rows(input.pre_rows).rows()) {
+            Contribute(row, -1);
+          }
+          break;
+        case DiffType::kUpdate: {
+          // Sum deltas do not require row alignment: subtract all pre
+          // images, add all post images.
+          for (const Row& row : Rows(input.pre_rows).rows()) {
+            Contribute(row, -1);
+          }
+          for (const Row& row : Rows(input.post_rows).rows()) {
+            Contribute(row, +1);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  bool DeltaIsZero(const GroupDelta& d) const {
+    if (d.row_delta != 0) return false;
+    for (int64_t n : d.nonnull_delta) {
+      if (n != 0) return false;
+    }
+    for (double s : d.sum_delta) {
+      if (s != 0) return false;
+    }
+    return true;
+  }
+
+  // Final value of spec k given its sum and non-null count.
+  Value Finalize(size_t k, double sum, int64_t nonnull, int64_t rows) {
+    const AggSpec& spec = step_.aggs[k];
+    const DataType type =
+        step_.output_schema
+            .column(step_.output_schema.ColumnIndex(spec.name)).type;
+    switch (spec.func) {
+      case AggFunc::kCount:
+        return Value(spec.arg == nullptr ? rows : nonnull);
+      case AggFunc::kSum:
+        if (nonnull == 0) return Value::Null();
+        return CastNumeric(type, sum);
+      case AggFunc::kAvg:
+        if (nonnull == 0) return Value::Null();
+        return Value(sum / static_cast<double>(nonnull));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        IDIVM_UNREACHABLE("min/max require recompute mode");
+    }
+    IDIVM_UNREACHABLE("bad AggFunc");
+  }
+
+  // ---- incremental, view updated additively (root γ, sum/count) ----
+  void RunIncrementalDirect() {
+    std::vector<Row> need_recompute;
+    for (const auto& [key, delta] : deltas_) {
+      if (DeltaIsZero(delta)) continue;
+      if (delta.row_delta == 0) {
+        // Pure value change: additive update diff (Tables 9/11).
+        Row row = key;
+        for (size_t k = 0; k < step_.aggs.size(); ++k) {
+          const AggSpec& spec = step_.aggs[k];
+          const DataType type =
+              step_.output_schema
+                  .column(step_.output_schema.ColumnIndex(spec.name)).type;
+          if (spec.func == AggFunc::kCount) {
+            row.push_back(Value(spec.arg == nullptr
+                                    ? int64_t{0}
+                                    : delta.nonnull_delta[k]));
+          } else {  // SUM
+            row.push_back(CastNumeric(type, delta.sum_delta[k]));
+          }
+        }
+        update_->Append(std::move(row));
+      } else {
+        need_recompute.push_back(key);
+      }
+    }
+    RecomputeGroups(need_recompute, EmitMode::kClassifiedDeleteInsert);
+  }
+
+  // ---- incremental with the SUM+COUNT operator cache (Table 12) ----
+  void RunIncrementalWithOpcache() {
+    Table& opcache = db_->GetTable(step_.opcache_table);
+    const Schema& cache_schema = opcache.schema();
+    const std::vector<size_t> key_cols =
+        cache_schema.ColumnIndices(step_.group_by);
+    std::vector<size_t> sum_cols;
+    std::vector<size_t> cnt_cols;
+    for (const AggSpec& spec : step_.aggs) {
+      sum_cols.push_back(cache_schema.ColumnIndex(StrCat("__sum_", spec.name)));
+      cnt_cols.push_back(cache_schema.ColumnIndex(StrCat("__cnt_", spec.name)));
+    }
+    const size_t count_col = cache_schema.ColumnIndex("__count");
+
+    for (const auto& [key, delta] : deltas_) {
+      if (DeltaIsZero(delta)) continue;
+      Row post_image;
+      const size_t touched = opcache.UpdateRowsWhereEquals(
+          key_cols, key,
+          [&](Row& row) {
+            for (size_t k = 0; k < step_.aggs.size(); ++k) {
+              row[sum_cols[k]] =
+                  Value(row[sum_cols[k]].NumericAsDouble() +
+                        delta.sum_delta[k]);
+              row[cnt_cols[k]] =
+                  Value(row[cnt_cols[k]].AsInt64() + delta.nonnull_delta[k]);
+            }
+            row[count_col] = Value(row[count_col].AsInt64() + delta.row_delta);
+            post_image = row;
+          });
+      int64_t count_post;
+      if (touched == 0) {
+        // New group: insert the opcache row.
+        IDIVM_CHECK(delta.row_delta > 0,
+                    "negative delta for an unknown group — non-effective "
+                    "input diffs");
+        Row row = key;
+        for (size_t k = 0; k < step_.aggs.size(); ++k) {
+          row.push_back(Value(delta.sum_delta[k]));
+          row.push_back(Value(delta.nonnull_delta[k]));
+        }
+        // Column order: group cols, then (sum, cnt) pairs, then __count —
+        // matches the compose-time schema.
+        row.push_back(Value(delta.row_delta));
+        opcache.Insert(row);
+        post_image = row;
+        count_post = delta.row_delta;
+      } else {
+        count_post = post_image[count_col].AsInt64();
+      }
+      const int64_t count_pre = count_post - delta.row_delta;
+      if (count_post == 0) {
+        opcache.DeleteByKey(key);
+        if (count_pre > 0) delete_->Append(key);
+        continue;
+      }
+      // Final absolute values from the opcache row.
+      Row values;
+      for (size_t k = 0; k < step_.aggs.size(); ++k) {
+        values.push_back(Finalize(k, post_image[sum_cols[k]].NumericAsDouble(),
+                                  post_image[cnt_cols[k]].AsInt64(),
+                                  count_post));
+      }
+      Row row = key;
+      row.insert(row.end(), values.begin(), values.end());
+      if (count_pre == 0) {
+        insert_->Append(std::move(row));
+      } else {
+        update_->Append(std::move(row));
+      }
+    }
+  }
+
+  // ---- general recompute rule (Table 7) ----
+  void RunRecompute() {
+    // Affected groups: every group key touched by any input image. The set
+    // may overestimate (keys whose net change cancels); recomputing them is
+    // harmless.
+    std::vector<Row> affected;
+    for (const auto& [key, delta] : deltas_) {
+      (void)delta;
+      affected.push_back(key);
+    }
+    RecomputeGroups(affected, EmitMode::kUpdateAndInsert);
+  }
+
+  // How RecomputeGroups emits diffs for groups that still exist.
+  enum class EmitMode {
+    // Deltas are exact: classify via count_pre into insert vs update; the
+    // additive out_update schema forces absolute updates to be expressed as
+    // delete+insert pairs.
+    kClassifiedDeleteInsert,
+    // Deltas may be inexact (general recompute): emit both an (absolute)
+    // update and an insert for every surviving group — existing rows take
+    // the update, missing rows the insert (NOT-IN guard), applied in
+    // (-, u, +) order.
+    kUpdateAndInsert,
+  };
+
+  // Recomputes `keys` from the input's post state. Groups with no remaining
+  // rows become deletes; surviving groups are emitted per `mode`.
+  void RecomputeGroups(const std::vector<Row>& keys, EmitMode mode) {
+    if (keys.empty()) return;
+    // Probe the input's post state per group key.
+    Schema key_schema;
+    {
+      std::vector<ColumnDef> cols;
+      for (const std::string& g : step_.group_by) {
+        cols.push_back({g, step_.input_schema.column(
+                               step_.input_schema.ColumnIndex(g)).type});
+      }
+      key_schema = Schema(cols);
+    }
+    Relation key_rel(key_schema);
+    for (const Row& key : keys) key_rel.Append(key);
+    const std::string key_name = "__gkeys";
+    (*transients_)[key_name] = key_rel;
+    ctx_->transient[key_name] = &(*transients_)[key_name];
+
+    std::vector<ExprPtr> eqs;
+    std::vector<ProjectItem> rename;
+    for (const std::string& g : step_.group_by) {
+      rename.push_back({Col(g), StrCat("__k_", g)});
+      eqs.push_back(Eq(Col(g), Col(StrCat("__k_", g))));
+    }
+    PlanPtr probe = PlanNode::SemiJoin(
+        step_.input_post_plan,
+        PlanNode::Project(PlanNode::RelationRef(key_name, key_schema),
+                          rename),
+        ConjoinAll(eqs));
+    const Relation rows = Evaluate(probe, *ctx_);
+    ctx_->transient.erase(key_name);
+    transients_->erase(key_name);
+
+    // Group + recompute exactly (count rows, non-null counts, sums, min/max).
+    struct Recomputed {
+      int64_t rows = 0;
+      std::vector<int64_t> nonnull;
+      std::vector<double> sums;
+      std::vector<Value> mins;
+      std::vector<Value> maxs;
+    };
+    std::map<Row, Recomputed, RowLess> groups;
+    for (const Row& row : rows.rows()) {
+      Row key = ProjectRow(row, group_cols_);
+      Recomputed& g = groups[key];
+      if (g.nonnull.empty()) {
+        g.nonnull.resize(step_.aggs.size(), 0);
+        g.sums.resize(step_.aggs.size(), 0);
+        g.mins.resize(step_.aggs.size());
+        g.maxs.resize(step_.aggs.size());
+      }
+      ++g.rows;
+      for (size_t k = 0; k < step_.aggs.size(); ++k) {
+        if (!args_[k].has_value()) {
+          ++g.nonnull[k];
+          continue;
+        }
+        const Value v = args_[k]->Eval(row);
+        if (v.is_null()) continue;
+        ++g.nonnull[k];
+        if (v.is_numeric()) g.sums[k] += v.NumericAsDouble();
+        if (g.mins[k].is_null() || v.Compare(g.mins[k]) < 0) g.mins[k] = v;
+        if (g.maxs[k].is_null() || v.Compare(g.maxs[k]) > 0) g.maxs[k] = v;
+      }
+    }
+
+    for (const Row& key : keys) {
+      const auto it = groups.find(key);
+      if (it == groups.end()) {
+        // No remaining rows: the group disappears (delete is overestimated
+        // for groups that never existed; harmless).
+        delete_->Append(key);
+        continue;
+      }
+      const Recomputed& g = it->second;
+      Row values;
+      for (size_t k = 0; k < step_.aggs.size(); ++k) {
+        const AggSpec& spec = step_.aggs[k];
+        const DataType type =
+            step_.output_schema
+                .column(step_.output_schema.ColumnIndex(spec.name)).type;
+        switch (spec.func) {
+          case AggFunc::kCount:
+            values.push_back(
+                Value(spec.arg == nullptr ? g.rows : g.nonnull[k]));
+            break;
+          case AggFunc::kSum:
+            values.push_back(g.nonnull[k] == 0
+                                 ? Value::Null()
+                                 : CastNumeric(type, g.sums[k]));
+            break;
+          case AggFunc::kAvg:
+            values.push_back(g.nonnull[k] == 0
+                                 ? Value::Null()
+                                 : Value(g.sums[k] /
+                                         static_cast<double>(g.nonnull[k])));
+            break;
+          case AggFunc::kMin:
+            values.push_back(g.mins[k]);
+            break;
+          case AggFunc::kMax:
+            values.push_back(g.maxs[k]);
+            break;
+        }
+      }
+      Row row = key;
+      row.insert(row.end(), values.begin(), values.end());
+      if (mode == EmitMode::kUpdateAndInsert) {
+        update_->Append(row);
+        insert_->Append(std::move(row));
+        continue;
+      }
+      const GroupDelta& delta = deltas_.at(key);
+      const int64_t count_pre = g.rows - delta.row_delta;
+      if (count_pre <= 0) {
+        insert_->Append(std::move(row));
+      } else {
+        // The additive out_update schema cannot carry absolute values:
+        // express the update as delete + re-insert (keys disjoint from the
+        // purely-additive groups).
+        delete_->Append(key);
+        insert_->Append(std::move(row));
+      }
+    }
+  }
+
+  void EmitOutputs() {
+    (*transients_)[step_.out_update] = update_->data();
+    (*transients_)[step_.out_insert] = insert_->data();
+    (*transients_)[step_.out_delete] = delete_->data();
+  }
+
+  Database* db_;
+  const AggregateStep& step_;
+  std::map<std::string, Relation>* transients_;
+  EvalContext* ctx_;
+  MaintainResult* result_;
+  const DeltaScript* script_schema_lookup_ = nullptr;
+
+  std::vector<size_t> group_cols_;
+  std::vector<std::optional<BoundExpr>> args_;
+  std::map<Row, GroupDelta, RowLess> deltas_;
+  std::unique_ptr<DiffInstance> update_;
+  std::unique_ptr<DiffInstance> insert_;
+  std::unique_ptr<DiffInstance> delete_;
+};
+
+}  // namespace
+
+Maintainer::Maintainer(Database* db, CompiledView view)
+    : db_(db), view_(std::move(view)) {
+  std::set<std::string> pre_tables;
+  for (const ScriptStep& step : view_.script.steps) {
+    if (step.compute.has_value()) {
+      CollectPreStateTables(step.compute->query, &pre_tables);
+    }
+    if (step.aggregate.has_value()) {
+      CollectPreStateTables(step.aggregate->input_post_plan, &pre_tables);
+      CollectPreStateTables(step.aggregate->input_pre_plan, &pre_tables);
+    }
+  }
+  pre_state_tables_.assign(pre_tables.begin(), pre_tables.end());
+}
+
+MaintainResult Maintainer::Maintain(
+    const std::map<std::string, std::vector<Modification>>& net_changes) {
+  MaintainResult result;
+
+  // Input diff instances.
+  std::map<std::string, DiffInstance> instances =
+      GenerateDiffInstances(view_, net_changes, *db_);
+
+  // Pre-state reconstruction, only for tables the script reads in pre-state.
+  std::map<std::string, IndexedRelation> pre_state;
+  for (const std::string& table : pre_state_tables_) {
+    const auto it = net_changes.find(table);
+    if (it == net_changes.end()) continue;  // unchanged: pre == post
+    pre_state.emplace(table, IndexedRelation(ReconstructPreState(
+                                                 db_->GetTable(table),
+                                                 it->second),
+                                             &db_->stats()));
+  }
+
+  std::map<std::string, Relation> transients;
+  // Tables with updates/deletes this round: view-assisted probes must not
+  // read their (possibly mid-maintenance) cache copies.
+  std::set<std::string> assist_unsafe;
+  for (const auto& [table, mods] : net_changes) {
+    for (const Modification& mod : mods) {
+      if (mod.kind != DiffType::kInsert) {
+        assist_unsafe.insert(table);
+        break;
+      }
+    }
+  }
+  EvalContext ctx;
+  ctx.db = db_;
+  ctx.pre_state = &pre_state;
+  ctx.assist_unsafe_tables = &assist_unsafe;
+  for (const auto& [name, instance] : instances) {
+    transients[name] = instance.data();
+  }
+
+  // Set IDIVM_TRACE_STEPS=1 to print per-step access costs (debugging).
+  static const bool trace = std::getenv("IDIVM_TRACE_STEPS") != nullptr;
+  int step_index = 0;
+
+  auto run_phase = [&](MaintPhase phase, const auto& fn,
+                       const std::string& label = "") {
+    const AccessStats before = db_->stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    PhaseCost cost;
+    cost.accesses = db_->stats() - before;
+    cost.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (trace) {
+      std::fprintf(stderr, "[step %d] %-40s %s\n", step_index, label.c_str(),
+                   cost.accesses.ToString().c_str());
+    }
+    ++step_index;
+    switch (phase) {
+      case MaintPhase::kDiffComputation:
+        result.diff_computation += cost;
+        break;
+      case MaintPhase::kCacheUpdate:
+        result.cache_update += cost;
+        break;
+      case MaintPhase::kViewUpdate:
+        result.view_update += cost;
+        break;
+    }
+  };
+
+  for (const ScriptStep& step : view_.script.steps) {
+    // Rebind ctx.transient views each step (cheap pointer map).
+    ctx.transient.clear();
+    for (const auto& [name, rel] : transients) {
+      ctx.transient[name] = &rel;
+    }
+
+    if (step.compute.has_value()) {
+      const ComputeDiffStep& cs = *step.compute;
+      run_phase(MaintPhase::kDiffComputation, [&] {
+        Relation rel = Evaluate(cs.query, ctx);
+        if (!cs.raw_relation) {
+          DiffInstance inst(*view_.script.FindDiffSchema(cs.out_name),
+                            std::move(rel));
+          inst.DeduplicateByIds();
+          transients[cs.out_name] = inst.data();
+        } else {
+          transients[cs.out_name] = std::move(rel);
+        }
+      }, "compute " + cs.out_name);
+    } else if (step.apply.has_value()) {
+      const ApplyStep& as = *step.apply;
+      run_phase(as.phase, [&] {
+        const DiffSchema* schema = view_.script.FindDiffSchema(as.diff_name);
+        IDIVM_CHECK(schema != nullptr,
+                    StrCat("apply of unregistered diff ", as.diff_name));
+        const auto it = transients.find(as.diff_name);
+        IDIVM_CHECK(it != transients.end(),
+                    StrCat("apply of unbound diff ", as.diff_name));
+        DiffInstance inst(*schema, it->second);
+        Table& target = db_->GetTable(as.target_table);
+        if (apply_observer_ != nullptr) {
+          apply_observer_(as.target_table, inst);
+        }
+        const bool capture =
+            !as.returning_pre.empty() || !as.returning_post.empty();
+        ReturningImages images(target.schema());
+        const ApplyResult applied =
+            ApplyDiff(inst, target, capture ? &images : nullptr);
+        result.diff_tuples_applied += applied.diff_tuples;
+        result.rows_touched += applied.rows_touched;
+        result.dummy_tuples += applied.dummy_tuples;
+        if (capture) {
+          transients[as.returning_pre] = std::move(images.pre_images);
+          transients[as.returning_post] = std::move(images.post_images);
+        }
+      }, "apply " + as.diff_name + " -> " + as.target_table);
+    } else if (step.aggregate.has_value()) {
+      run_phase(MaintPhase::kDiffComputation, [&] {
+        AggregateExecutor exec(db_, *step.aggregate, &transients, &ctx,
+                               &result);
+        exec.set_script(&view_.script);
+        exec.Run();
+      }, "γ-maintain " + step.aggregate->node_name);
+    }
+  }
+  return result;
+}
+
+}  // namespace idivm

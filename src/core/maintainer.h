@@ -1,0 +1,79 @@
+// View-maintenance-time execution (Section 3, blue components): the ∆-script
+// executor. Takes the net base-table changes, populates the input i-diff
+// instances, reconstructs pre-states where the script needs them, and runs
+// the script step by step, attributing costs and wall time to the phases of
+// Fig. 12 (diff computation / cache update / view update).
+
+#ifndef IDIVM_CORE_MAINTAINER_H_
+#define IDIVM_CORE_MAINTAINER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/core/compose.h"
+#include "src/core/modification_log.h"
+#include "src/diff/apply.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+
+struct PhaseCost {
+  AccessStats accesses;
+  double seconds = 0;
+
+  PhaseCost& operator+=(const PhaseCost& other) {
+    accesses += other.accesses;
+    seconds += other.seconds;
+    return *this;
+  }
+};
+
+struct MaintainResult {
+  PhaseCost diff_computation;
+  PhaseCost cache_update;
+  PhaseCost view_update;
+  // Apply-level counters (overestimation visibility, Section 1).
+  int64_t diff_tuples_applied = 0;
+  int64_t rows_touched = 0;
+  int64_t dummy_tuples = 0;
+
+  AccessStats TotalAccesses() const;
+  double TotalSeconds() const;
+  std::string ToString() const;
+};
+
+class Maintainer {
+ public:
+  // `db` must outlive the maintainer; `view` is the compiled view whose
+  // script this maintainer executes.
+  Maintainer(Database* db, CompiledView view);
+
+  const CompiledView& view() const { return view_; }
+
+  // Runs the ∆-script for the given net base-table changes (from
+  // ModificationLogger::NetChanges). Does not clear any log.
+  MaintainResult Maintain(
+      const std::map<std::string, std::vector<Modification>>& net_changes);
+
+  // Observability hook: called for every APPLY step just before execution
+  // with the target table name and the diff instance. Used by tests to
+  // verify the Section 2 effectiveness conditions on emitted diffs, and by
+  // embedders for audit logging. Not part of the cost model.
+  using ApplyObserver =
+      std::function<void(const std::string& target, const DiffInstance&)>;
+  void set_apply_observer(ApplyObserver observer) {
+    apply_observer_ = std::move(observer);
+  }
+
+ private:
+  ApplyObserver apply_observer_;
+  Database* db_;
+  CompiledView view_;
+  // Tables the script reads in pre-state (computed once from the script).
+  std::vector<std::string> pre_state_tables_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_MAINTAINER_H_

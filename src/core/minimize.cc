@@ -1,0 +1,425 @@
+#include "src/core/minimize.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/core/rules.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+namespace {
+
+// A diff leaf under optional Select/Project(rename) wrappers, as produced by
+// DiffWithPrefixedIds / DiffRef: returns the RelationRef and whether IDs were
+// renamed to the __d_ prefix.
+struct DiffLeaf {
+  PlanPtr ref;
+  bool prefixed_ids = false;
+  std::vector<ExprPtr> filters;  // selections over the diff layout
+};
+
+std::optional<DiffLeaf> MatchDiffLeaf(const PlanPtr& plan,
+                                      const DeltaScript& script) {
+  DiffLeaf leaf;
+  PlanPtr cur = plan;
+  while (true) {
+    if (cur->kind() == PlanKind::kRelationRef) {
+      if (script.FindDiffSchema(cur->ref_name()) == nullptr) {
+        return std::nullopt;
+      }
+      leaf.ref = cur;
+      return leaf;
+    }
+    if (cur->kind() == PlanKind::kSelect) {
+      leaf.filters.push_back(cur->predicate());
+      cur = cur->child(0);
+      continue;
+    }
+    if (cur->kind() == PlanKind::kProject) {
+      // Only the __d_-prefixing rename of DiffWithPrefixedIds is recognized.
+      bool is_prefixing = true;
+      for (const ProjectItem& item : cur->project_items()) {
+        if (item.expr->kind() != ExprKind::kColumn) {
+          is_prefixing = false;
+          break;
+        }
+        const std::string& src = item.expr->column_name();
+        if (item.name != src && item.name != StrCat("__d_", src)) {
+          is_prefixing = false;
+          break;
+        }
+      }
+      if (!is_prefixing || leaf.prefixed_ids) return std::nullopt;
+      leaf.prefixed_ids = true;
+      cur = cur->child(0);
+      continue;
+    }
+    return std::nullopt;
+  }
+}
+
+// A stored access path: Scan(R) in post state under zero or more selections.
+struct StoredPath {
+  std::string table;
+  std::vector<ExprPtr> selections;  // over the table's plain columns
+};
+
+std::optional<StoredPath> MatchStoredPath(const PlanPtr& plan) {
+  StoredPath path;
+  const PlanNode* cur = plan.get();
+  while (cur->kind() == PlanKind::kSelect) {
+    path.selections.push_back(cur->predicate());
+    cur = cur->child(0).get();
+  }
+  if (cur->kind() != PlanKind::kScan || cur->state() != StateTag::kPost) {
+    return std::nullopt;
+  }
+  path.table = cur->table_name();
+  return path;
+}
+
+// Checks the join predicate is exactly the conjunction of key equalities
+// between the table's primary key and the diff's (possibly __d_-prefixed)
+// ID columns.
+bool PredicateIsKeyEquality(const ExprPtr& predicate, const Table& table,
+                            const DiffSchema& diff, bool prefixed) {
+  std::set<std::string> needed(table.key_columns().begin(),
+                               table.key_columns().end());
+  if (needed != std::set<std::string>(diff.id_columns().begin(),
+                                      diff.id_columns().end())) {
+    return false;
+  }
+  std::set<std::string> matched;
+  for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+    if (conjunct->kind() != ExprKind::kComparison ||
+        conjunct->cmp_op() != CmpOp::kEq) {
+      return false;
+    }
+    const ExprPtr& a = conjunct->children()[0];
+    const ExprPtr& b = conjunct->children()[1];
+    if (a->kind() != ExprKind::kColumn || b->kind() != ExprKind::kColumn) {
+      return false;
+    }
+    std::string plain;
+    std::string diff_side;
+    if (needed.count(a->column_name()) > 0) {
+      plain = a->column_name();
+      diff_side = b->column_name();
+    } else if (needed.count(b->column_name()) > 0) {
+      plain = b->column_name();
+      diff_side = a->column_name();
+    } else {
+      return false;
+    }
+    const std::string expected =
+        prefixed ? StrCat("__d_", plain) : plain;
+    if (diff_side != expected) return false;
+    matched.insert(plain);
+  }
+  return matched == needed;
+}
+
+// Rewrites the diff leaf to the table's plain post-state rows (Fig. 8:
+// R ⋉_Ī σφ ∆ → π σφ ∆). Filters collected from the leaf are re-applied, and
+// the stored path's own selections are evaluated over the reconstructed
+// plain rows.
+PlanPtr RewriteSemiJoinToDiff(const StoredPath& path, const Table& table,
+                              const DiffLeaf& leaf, const DiffSchema& diff) {
+  PlanPtr source = leaf.ref;
+  // Reapply diff-layout filters (expressed over the prefixed layout;
+  // un-prefix the IDs so they bind against the raw RelationRef).
+  for (auto it = leaf.filters.rbegin(); it != leaf.filters.rend(); ++it) {
+    std::map<std::string, std::string> renames;
+    for (const std::string& id : diff.id_columns()) {
+      renames[StrCat("__d_", id)] = id;
+    }
+    source = PlanNode::Select(source, RenameColumns(*it, renames));
+  }
+  std::vector<ProjectItem> items;
+  for (const ColumnDef& col : table.schema().columns()) {
+    const bool is_id =
+        std::find(diff.id_columns().begin(), diff.id_columns().end(),
+                  col.name) != diff.id_columns().end();
+    if (is_id) {
+      items.push_back({Col(col.name), col.name});
+    } else if (diff.HasPost(col.name)) {
+      items.push_back({Col(PostName(col.name)), col.name});
+    } else {
+      items.push_back({Col(PreName(col.name)), col.name});
+    }
+  }
+  PlanPtr rows = PlanNode::Project(std::move(source), std::move(items));
+  for (auto it = path.selections.rbegin(); it != path.selections.rend();
+       ++it) {
+    rows = PlanNode::Select(std::move(rows), *it);
+  }
+  return rows;
+}
+
+struct Rewriter {
+  const DeltaScript* script;
+  const Database* db;
+  MinimizeStats* stats;
+
+  PlanPtr Rewrite(const PlanPtr& plan) {
+    // Bottom-up.
+    std::vector<PlanPtr> children;
+    bool child_changed = false;
+    for (const PlanPtr& child : plan->children()) {
+      PlanPtr rewritten = Rewrite(child);
+      child_changed |= rewritten != child;
+      children.push_back(std::move(rewritten));
+    }
+    PlanPtr node = plan;
+    if (child_changed) node = RebuildNode(plan, children);
+
+    node = TryLocal(node);
+    return node;
+  }
+
+  PlanPtr RebuildNode(const PlanPtr& plan, std::vector<PlanPtr>& children) {
+    switch (plan->kind()) {
+      case PlanKind::kSelect:
+        return PlanNode::Select(children[0], plan->predicate());
+      case PlanKind::kProject:
+        return PlanNode::Project(children[0], plan->project_items());
+      case PlanKind::kJoin:
+        return PlanNode::Join(children[0], children[1], plan->predicate());
+      case PlanKind::kSemiJoin:
+        return PlanNode::SemiJoin(children[0], children[1],
+                                  plan->predicate());
+      case PlanKind::kAntiSemiJoin:
+        return PlanNode::AntiSemiJoin(children[0], children[1],
+                                      plan->predicate());
+      case PlanKind::kUnionAll:
+        return PlanNode::UnionAll(children[0], children[1],
+                                  plan->branch_column());
+      case PlanKind::kAggregate:
+        return PlanNode::Aggregate(children[0], plan->group_by(),
+                                   plan->aggregates());
+      case PlanKind::kMaterialize:
+        return PlanNode::Materialize(children[0]);
+      default:
+        return plan;
+    }
+  }
+
+  PlanPtr TryLocal(const PlanPtr& plan) {
+    // σ_true elimination.
+    if (plan->kind() == PlanKind::kSelect &&
+        plan->predicate()->kind() == ExprKind::kLiteral &&
+        !plan->predicate()->literal().is_null() &&
+        plan->predicate()->literal().is_numeric() &&
+        plan->predicate()->literal().NumericAsDouble() != 0) {
+      ++stats->rewrites_applied;
+      return plan->child(0);
+    }
+    if (plan->kind() == PlanKind::kSemiJoin ||
+        plan->kind() == PlanKind::kJoin) {
+      PlanPtr rewritten = TrySelfJoinElimination(plan);
+      if (rewritten != nullptr) return rewritten;
+    }
+    return plan;
+  }
+
+  // Fig. 8: Scan(R) ⋉/⋈_Ī ∆_R where ∆ describes R itself.
+  PlanPtr TrySelfJoinElimination(const PlanPtr& plan) {
+    const std::optional<StoredPath> path = MatchStoredPath(plan->child(0));
+    if (!path.has_value()) {
+      if (plan->kind() == PlanKind::kJoin) {
+        PlanPtr pushed = TryDiffPushdown(plan);
+        if (pushed != nullptr) return pushed;
+      }
+      return nullptr;
+    }
+    const std::optional<DiffLeaf> leaf =
+        MatchDiffLeaf(plan->child(1), *script);
+    if (!leaf.has_value()) return nullptr;
+    const DiffSchema* diff =
+        script->FindDiffSchema(leaf->ref->ref_name());
+    if (diff == nullptr || diff->target() != path->table) return nullptr;
+    if (!db->HasTable(path->table)) return nullptr;
+    const Table& table = db->GetTable(path->table);
+    if (!PredicateIsKeyEquality(plan->predicate(), table, *diff,
+                                leaf->prefixed_ids)) {
+      return nullptr;
+    }
+    // The diff must be able to reconstruct full post rows of R.
+    if (diff->type() != DiffType::kDelete &&
+        !DiffCoversSchema(table.schema(), table.key_columns(), *diff)) {
+      return nullptr;
+    }
+
+    if (plan->kind() == PlanKind::kSemiJoin) {
+      // R ⋉_Ī σφ ∆ → π σφ ∆  (or ∅ for deletes: C2).
+      ++stats->rewrites_applied;
+      if (diff->type() == DiffType::kDelete) {
+        return EmptyOfSchema(InferSchema(plan, *db));
+      }
+      return RewriteSemiJoinToDiff(*path, table, *leaf, *diff);
+    }
+    // Join: ∆ ⋈_Ī R → ∆ expanded to the combined layout (R columns
+    // reconstructed from the diff's post values), or ∅ for deletes.
+    ++stats->rewrites_applied;
+    if (diff->type() == DiffType::kDelete) {
+      return EmptyOfSchema(InferSchema(plan, *db));
+    }
+    return RewriteJoinToDiff(*path, table, *leaf, *diff, plan);
+  }
+
+  // Fig. 8 generalized through composition: Subview ⋈_Ī ∆_R where the
+  // subview contains exactly one post-state Scan(R) and ∆ is keyed on R's
+  // full primary key. By C1/C3 the join restricts the subview to rows
+  // derived from the diff's own R-rows, so Scan(R) can be replaced by the
+  // diff's reconstructed post rows — turning the whole query diff-driven
+  // (ancestors are materialization-wrapped to keep the probing chain).
+  PlanPtr TryDiffPushdown(const PlanPtr& join) {
+    const std::optional<DiffLeaf> leaf = MatchDiffLeaf(join->child(1), *script);
+    if (!leaf.has_value() || !leaf->filters.empty()) return nullptr;
+    const DiffSchema* diff = script->FindDiffSchema(leaf->ref->ref_name());
+    if (diff == nullptr || !db->HasTable(diff->target())) return nullptr;
+    const Table& table = db->GetTable(diff->target());
+    if (!PredicateIsKeyEquality(join->predicate(), table, *diff,
+                                leaf->prefixed_ids)) {
+      return nullptr;
+    }
+    if (diff->type() == DiffType::kDelete) {
+      // C2: no post-state row of R matches a deleted key — empty result.
+      ++stats->rewrites_applied;
+      return EmptyOfSchema(InferSchema(join, *db));
+    }
+    if (!DiffCoversSchema(table.schema(), table.key_columns(), *diff)) {
+      return nullptr;
+    }
+    // Exactly one post-state scan of the target inside the stored side.
+    int scan_count = 0;
+    CountTargetScans(join->child(0), diff->target(), &scan_count);
+    if (scan_count != 1) return nullptr;
+    bool replaced = false;
+    PlanPtr subtree = ReplaceTargetScan(
+        join->child(0), diff->target(),
+        DiffAsPlainRows(leaf->ref->ref_name(), *diff, table.schema(),
+                        /*use_post=*/true),
+        &replaced);
+    IDIVM_CHECK(replaced, "target scan disappeared during pushdown");
+    ++stats->rewrites_applied;
+    return PlanNode::Join(std::move(subtree), join->child(1),
+                          join->predicate());
+  }
+
+  void CountTargetScans(const PlanPtr& plan, const std::string& table,
+                        int* count) {
+    if (plan->kind() == PlanKind::kScan && plan->table_name() == table &&
+        plan->state() == StateTag::kPost) {
+      ++*count;
+    }
+    for (const PlanPtr& child : plan->children()) {
+      CountTargetScans(child, table, count);
+    }
+  }
+
+  PlanPtr ReplaceTargetScan(const PlanPtr& plan, const std::string& table,
+                            PlanPtr replacement, bool* replaced) {
+    if (plan->kind() == PlanKind::kScan && plan->table_name() == table &&
+        plan->state() == StateTag::kPost) {
+      *replaced = true;
+      return replacement;
+    }
+    if (plan->children().empty()) return plan;
+    std::vector<PlanPtr> children;
+    bool here = false;
+    for (const PlanPtr& child : plan->children()) {
+      bool child_replaced = false;
+      children.push_back(
+          ReplaceTargetScan(child, table, replacement, &child_replaced));
+      here |= child_replaced;
+    }
+    if (!here) return plan;
+    *replaced = true;
+    PlanPtr rebuilt = RebuildNode(plan, children);
+    // Keep the probing chain diff-driven above the substitution.
+    return PlanNode::Materialize(std::move(rebuilt));
+  }
+
+  PlanPtr EmptyOfSchema(const Schema& schema) {
+    // RelationRefs whose name starts with "__empty" are resolved by the
+    // evaluator to an empty relation of the declared schema.
+    return PlanNode::RelationRef(StrCat("__empty_", empty_counter_++),
+                                 schema);
+  }
+
+  PlanPtr RewriteJoinToDiff(const StoredPath& path, const Table& table,
+                            const DiffLeaf& leaf, const DiffSchema& diff,
+                            const PlanPtr& join) {
+    // Combined layout: R's columns ++ diff layout (possibly prefixed).
+    PlanPtr source = leaf.ref;
+    for (auto it = leaf.filters.rbegin(); it != leaf.filters.rend(); ++it) {
+      std::map<std::string, std::string> renames;
+      for (const std::string& id : diff.id_columns()) {
+        renames[StrCat("__d_", id)] = id;
+      }
+      source = PlanNode::Select(source, RenameColumns(*it, renames));
+    }
+    std::vector<ProjectItem> items;
+    for (const ColumnDef& col : table.schema().columns()) {
+      const bool is_id =
+          std::find(diff.id_columns().begin(), diff.id_columns().end(),
+                    col.name) != diff.id_columns().end();
+      if (is_id) {
+        items.push_back({Col(col.name), col.name});
+      } else if (diff.HasPost(col.name)) {
+        items.push_back({Col(PostName(col.name)), col.name});
+      } else {
+        items.push_back({Col(PreName(col.name)), col.name});
+      }
+    }
+    // Diff-side columns of the combined layout.
+    const Schema join_schema = InferSchema(join, *db);
+    const Schema& rel = diff.relation_schema();
+    for (const ColumnDef& col : rel.columns()) {
+      const bool is_id =
+          std::find(diff.id_columns().begin(), diff.id_columns().end(),
+                    col.name) != diff.id_columns().end();
+      const std::string out_name =
+          is_id && leaf.prefixed_ids ? StrCat("__d_", col.name) : col.name;
+      if (join_schema.HasColumn(out_name) &&
+          !table.schema().HasColumn(out_name)) {
+        items.push_back({Col(col.name), out_name});
+      }
+    }
+    PlanPtr rows = PlanNode::Project(std::move(source), std::move(items));
+    for (auto it = path.selections.rbegin(); it != path.selections.rend();
+         ++it) {
+      rows = PlanNode::Select(std::move(rows), *it);
+    }
+    return rows;
+  }
+
+  int empty_counter_ = 0;
+};
+
+}  // namespace
+
+PlanPtr MinimizePlan(const PlanPtr& plan, const DeltaScript& script,
+                     const Database& db, MinimizeStats* stats) {
+  MinimizeStats local;
+  Rewriter rewriter{&script, &db, stats != nullptr ? stats : &local};
+  return rewriter.Rewrite(plan);
+}
+
+int MinimizeScript(DeltaScript* script, const Database& db) {
+  MinimizeStats stats;
+  for (ScriptStep& step : script->steps) {
+    if (step.compute.has_value()) {
+      step.compute->query =
+          MinimizePlan(step.compute->query, *script, db, &stats);
+    }
+  }
+  return stats.rewrites_applied;
+}
+
+}  // namespace idivm

@@ -1,0 +1,39 @@
+// Pass 4 of the ∆-script generator: semantic minimization (Section 4).
+//
+// Composition can leave delta queries that join or semijoin a base-table
+// i-diff with the very relation it describes. The i-diff constraints of
+// Section 2 (C1: ∆+_R ⊆ R; C2: π_Ī ∆−_R ∩ π_Ī R = ∅; C3: updated rows exist
+// in R with their post values) let those accesses be eliminated — the
+// Figure 8 rewrite rules:
+//
+//   ∆+_R ⋈_Ī R → ∆+_R            R ⋉_Ī σφ ∆+_R → π σφ ∆+_R
+//   ∆u_R ⋈_Ī R → ∆u_R            R ⋉_Ī σφ ∆u_R → π σφ ∆u_R (Ā″∪Ā′ = Ā)
+//   ∆−_R ⋈_Ī R → ∅               R ⋉_Ī σφ ∆−_R → ∅
+//
+// plus standard cleanups (σ_true elimination). Minimization is polynomial:
+// one bottom-up pass per delta query.
+
+#ifndef IDIVM_CORE_MINIMIZE_H_
+#define IDIVM_CORE_MINIMIZE_H_
+
+#include "src/core/delta_script.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+
+struct MinimizeStats {
+  int rewrites_applied = 0;
+};
+
+// Minimizes one delta query; `script` provides the diff registry (name →
+// schema, incl. the diff's target relation).
+PlanPtr MinimizePlan(const PlanPtr& plan, const DeltaScript& script,
+                     const Database& db, MinimizeStats* stats);
+
+// Minimizes every ComputeDiffStep query in the script. Returns the number of
+// Figure-8 rewrites applied.
+int MinimizeScript(DeltaScript* script, const Database& db);
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_MINIMIZE_H_

@@ -1,0 +1,64 @@
+// Data-modification-time machinery (Section 3, green components): the
+// modification logger records base-table changes as they are applied; the
+// i-diff instance generator later converts the log into instances of the
+// schemas precomputed at view-definition time (Section 5), combining
+// multiple modifications of one tuple into a single effective change.
+
+#ifndef IDIVM_CORE_MODIFICATION_LOG_H_
+#define IDIVM_CORE_MODIFICATION_LOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/compose.h"
+#include "src/diff/compaction.h"
+#include "src/diff/diff_instance.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+
+// Applies modifications to base tables and logs them. Lookup of pre-images
+// is uncounted: logging happens at data-modification time, outside the
+// maintenance cost model.
+class ModificationLogger {
+ public:
+  explicit ModificationLogger(Database* db);
+
+  // Inserts `row`; aborts on primary-key violation (caller bug).
+  void Insert(const std::string& table, Row row);
+
+  // Deletes the row with primary key `key`; returns false if absent.
+  bool Delete(const std::string& table, const Row& key);
+
+  // Updates `set_columns` of the row with primary key `key` to `values`;
+  // returns false if absent. Key columns may not be updated.
+  bool Update(const std::string& table, const Row& key,
+              const std::vector<std::string>& set_columns, const Row& values);
+
+  const std::map<std::string, std::vector<Modification>>& log() const {
+    return log_;
+  }
+
+  // Net effect per table since the last Clear (compacted, Section 5).
+  std::map<std::string, std::vector<Modification>> NetChanges() const;
+
+  void Clear() { log_.clear(); }
+
+ private:
+  Database* db_;
+  std::map<std::string, std::vector<Modification>> log_;
+};
+
+// Populates instances of the compiled view's input i-diff schemas from the
+// net changes: inserts/deletes go to the single insert/delete schema; an
+// update lands in *every* update schema containing at least one actually
+// modified attribute (Section 5, "Populating i-diff instances").
+std::map<std::string, DiffInstance> GenerateDiffInstances(
+    const CompiledView& view,
+    const std::map<std::string, std::vector<Modification>>& net_changes,
+    const Database& db);
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_MODIFICATION_LOG_H_

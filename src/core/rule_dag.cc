@@ -1,0 +1,17 @@
+#include "src/core/rule_dag.h"
+
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+std::string RuleDag::ToString() const {
+  std::string out;
+  for (const RuleDagNode& node : nodes_) {
+    out += StrCat(node.blocking ? "[blocking] " : "", node.output_diff,
+                  "  <=  {", Join(node.consumes, ", "), "}  via  ",
+                  node.description, "\n");
+  }
+  return out;
+}
+
+}  // namespace idivm

@@ -1,0 +1,36 @@
+// The instantiated-rule DAG (Fig. 6 of the paper): nodes are instantiated
+// operator rules, edges connect a rule to the rules consuming its output
+// diff. Non-blocking rules have one incoming diff; blocking rules (the
+// native aggregation steps) merge all branches that reach them — turning the
+// tree into a DAG. Built by the compose pass for introspection and printing.
+
+#ifndef IDIVM_CORE_RULE_DAG_H_
+#define IDIVM_CORE_RULE_DAG_H_
+
+#include <string>
+#include <vector>
+
+namespace idivm {
+
+struct RuleDagNode {
+  std::string output_diff;            // name of the diff this rule produces
+  std::string description;           // instantiated rule text
+  std::vector<std::string> consumes;  // input diff names (edges)
+  bool blocking = false;
+};
+
+class RuleDag {
+ public:
+  void AddNode(RuleDagNode node) { nodes_.push_back(std::move(node)); }
+  const std::vector<RuleDagNode>& nodes() const { return nodes_; }
+
+  // Indented rendering rooted at the base-table diffs.
+  std::string ToString() const;
+
+ private:
+  std::vector<RuleDagNode> nodes_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_RULE_DAG_H_

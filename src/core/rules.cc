@@ -1,0 +1,204 @@
+#include "src/core/rules.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+PlanPtr DiffRef(const std::string& diff_name, const DiffSchema& schema) {
+  return PlanNode::RelationRef(diff_name, schema.relation_schema());
+}
+
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+std::optional<ExprPtr> TryRewriteToPost(const ExprPtr& expr,
+                                        const DiffSchema& diff) {
+  std::map<std::string, std::string> renames;
+  for (const std::string& col : ReferencedColumns(expr)) {
+    if (Contains(diff.id_columns(), col)) {
+      continue;  // IDs keep their names
+    }
+    if (diff.HasPost(col)) {
+      renames[col] = PostName(col);
+    } else if (diff.HasPre(col)) {
+      // Attribute not updated by this diff: its post value equals pre.
+      renames[col] = PreName(col);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return RenameColumns(expr, renames);
+}
+
+std::optional<ExprPtr> TryRewriteToPre(const ExprPtr& expr,
+                                       const DiffSchema& diff) {
+  std::map<std::string, std::string> renames;
+  for (const std::string& col : ReferencedColumns(expr)) {
+    if (Contains(diff.id_columns(), col)) continue;
+    if (diff.HasPre(col)) {
+      renames[col] = PreName(col);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return RenameColumns(expr, renames);
+}
+
+PlanPtr DiffWithPrefixedIds(const std::string& diff_name,
+                            const DiffSchema& schema) {
+  std::vector<ProjectItem> items;
+  for (const ColumnDef& col : schema.relation_schema().columns()) {
+    if (Contains(schema.id_columns(), col.name)) {
+      items.push_back({Col(col.name), StrCat("__d_", col.name)});
+    } else {
+      items.push_back({Col(col.name), col.name});
+    }
+  }
+  return PlanNode::Project(DiffRef(diff_name, schema), std::move(items));
+}
+
+PlanPtr JoinInputWithDiff(PlanPtr input, const std::string& diff_name,
+                          const DiffSchema& diff) {
+  PlanPtr diff_plan = DiffWithPrefixedIds(diff_name, diff);
+  std::vector<ExprPtr> eqs;
+  eqs.reserve(diff.id_columns().size());
+  for (const std::string& id : diff.id_columns()) {
+    eqs.push_back(Eq(Col(id), Col(StrCat("__d_", id))));
+  }
+  return PlanNode::Join(std::move(input), std::move(diff_plan),
+                        ConjoinAll(eqs));
+}
+
+PlanPtr SemiJoinInputWithDiff(PlanPtr input, const std::string& diff_name,
+                              const DiffSchema& diff) {
+  PlanPtr diff_plan = DiffWithPrefixedIds(diff_name, diff);
+  std::vector<ExprPtr> eqs;
+  eqs.reserve(diff.id_columns().size());
+  for (const std::string& id : diff.id_columns()) {
+    eqs.push_back(Eq(Col(id), Col(StrCat("__d_", id))));
+  }
+  return PlanNode::SemiJoin(std::move(input), std::move(diff_plan),
+                            ConjoinAll(eqs));
+}
+
+bool DiffCoversSchema(const Schema& schema,
+                      const std::vector<std::string>& schema_ids,
+                      const DiffSchema& diff) {
+  return DiffCoversSchemaState(schema, schema_ids, diff, /*post_state=*/true);
+}
+
+bool DiffCoversSchemaState(const Schema& schema,
+                           const std::vector<std::string>& schema_ids,
+                           const DiffSchema& diff, bool post_state) {
+  const std::set<std::string> ids(diff.id_columns().begin(),
+                                  diff.id_columns().end());
+  if (ids != std::set<std::string>(schema_ids.begin(), schema_ids.end())) {
+    return false;
+  }
+  for (const ColumnDef& col : schema.columns()) {
+    if (ids.count(col.name) > 0) continue;
+    const bool has_pre = diff.HasPre(col.name);
+    const bool has_post = diff.HasPost(col.name);
+    if (post_state) {
+      // Post value directly, or pre as the post of an unchanged attribute.
+      if (!has_post && !has_pre) return false;
+    } else {
+      // Pre value directly; an attribute the diff updates (post without
+      // pre) has an unknown pre value.
+      if (!has_pre && has_post) return false;
+      if (!has_pre && !has_post) return false;
+    }
+  }
+  return true;
+}
+
+PlanPtr DiffAsPlainRows(const std::string& diff_name, const DiffSchema& diff,
+                        const Schema& schema, bool use_post) {
+  std::vector<ProjectItem> items;
+  for (const ColumnDef& col : schema.columns()) {
+    if (Contains(diff.id_columns(), col.name)) {
+      items.push_back({Col(col.name), col.name});
+      continue;
+    }
+    const bool has_pre = diff.HasPre(col.name);
+    const bool has_post = diff.HasPost(col.name);
+    IDIVM_CHECK(has_pre || has_post,
+                StrCat("diff does not cover column ", col.name));
+    bool pick_post;
+    if (use_post) {
+      pick_post = has_post;  // fall back to pre for unchanged attributes
+    } else {
+      // Pre rows must not silently use post values of updated attributes.
+      IDIVM_CHECK(has_pre || !has_post,
+                  StrCat("diff has no pre-state for updated column ",
+                         col.name));
+      pick_post = !has_pre;
+    }
+    items.push_back({Col(pick_post ? PostName(col.name) : PreName(col.name)),
+                     col.name});
+  }
+  return PlanNode::Project(DiffRef(diff_name, diff), std::move(items));
+}
+
+DiffSchema MakeInsertSchema(const RuleContext& ctx) {
+  std::vector<std::string> attrs;
+  for (const ColumnDef& col : ctx.output_schema.columns()) {
+    if (!Contains(ctx.output_ids, col.name)) attrs.push_back(col.name);
+  }
+  return DiffSchema(DiffType::kInsert, ctx.node_name, ctx.output_schema,
+                    ctx.output_ids, {}, attrs);
+}
+
+PlanPtr ProjectPlainRowsToInsertDiff(PlanPtr rows, const RuleContext& ctx) {
+  // Layout must match MakeInsertSchema: ID columns first, then the
+  // remaining attributes as __post.
+  std::vector<ProjectItem> items;
+  for (const std::string& id : ctx.output_ids) {
+    items.push_back({Col(id), id});
+  }
+  for (const ColumnDef& col : ctx.output_schema.columns()) {
+    if (!Contains(ctx.output_ids, col.name)) {
+      items.push_back({Col(col.name), PostName(col.name)});
+    }
+  }
+  return PlanNode::Project(std::move(rows), std::move(items));
+}
+
+std::vector<PropagatedDiff> PropagateThroughOperator(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index) {
+  switch (ctx.op->kind()) {
+    case PlanKind::kSelect:
+      IDIVM_CHECK(input_index == 0);
+      return PropagateThroughSelect(ctx, diff_name, diff);
+    case PlanKind::kProject:
+      IDIVM_CHECK(input_index == 0);
+      return PropagateThroughProject(ctx, diff_name, diff);
+    case PlanKind::kJoin:
+      return PropagateThroughJoin(ctx, diff_name, diff, input_index);
+    case PlanKind::kUnionAll:
+      return PropagateThroughUnionAll(ctx, diff_name, diff, input_index);
+    case PlanKind::kAntiSemiJoin:
+      return PropagateThroughAntiSemiJoin(ctx, diff_name, diff, input_index);
+    case PlanKind::kSemiJoin:
+      return PropagateThroughSemiJoin(ctx, diff_name, diff, input_index);
+    default:
+      IDIVM_UNREACHABLE(
+          StrCat("no propagation rules for operator kind ",
+                 static_cast<int>(ctx.op->kind()),
+                 " — aggregation is handled natively, other kinds are not "
+                 "part of the Q_SPJADU view language"));
+  }
+}
+
+}  // namespace idivm

@@ -1,0 +1,161 @@
+// Pass 2 of the ∆-script generator: operator i-diff propagation rules
+// (Tables 4-13 of the paper), in idIVM's extensible one-operator-at-a-time
+// architecture. Each operator kind supplies a propagation function that maps
+// one input i-diff schema to the output i-diff schemas it produces, each with
+// a delta query. Delta queries are algebra plans whose leaves are:
+//   - RelationRef(<input diff name>) — the incoming diff instance,
+//   - the operator's input subviews in pre/post state (Input_l/r, provided by
+//     the compose pass, already redirected at caches when one exists),
+// mirroring the paper's rule language (∆, Input_pre/post, Output).
+//
+// Aggregation (γ) is *not* expressed here: its blocking rules (Tables 7, 9,
+// 11, 12) are executed natively by the script executor (see delta_script.h),
+// because they consume all input diffs at once and use UPDATE..RETURNING on
+// the cache.
+
+#ifndef IDIVM_CORE_RULES_H_
+#define IDIVM_CORE_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/diff/diff_schema.h"
+#include "src/expr/expr.h"
+
+namespace idivm {
+
+// Options controlling rule specialization (ablations; see DESIGN.md).
+struct RuleOptions {
+  // Use the specialized diff-only branches of Tables 6/10/13 when the diff
+  // schema covers the condition attributes. With false, rules emit the
+  // general Input-accessing forms and rely on pass-4 minimization (or pay
+  // the cost — the paper's >50% minimization observation).
+  bool prefer_diff_only_branches = true;
+};
+
+// Everything a rule needs to know about the operator instance it is being
+// instantiated for.
+struct RuleContext {
+  const PlanNode* op = nullptr;    // operator in the ID-annotated plan
+  const Database* db = nullptr;    // schema resolution
+  std::string node_name;           // synthetic name of the operator's output
+  Schema output_schema;            // operator output schema
+  std::vector<std::string> output_ids;  // inferred IDs of the output
+  // Subview plans per child, in post- and pre-state. When the compose pass
+  // materialized a cache for a child these point at the cache table.
+  std::vector<PlanPtr> input_post;
+  std::vector<PlanPtr> input_pre;
+  // Per-child output schemas and IDs.
+  std::vector<Schema> input_schemas;
+  std::vector<std::vector<std::string>> input_ids;
+  RuleOptions options;
+};
+
+// One output diff produced by a rule: its schema (over ctx.node_name /
+// ctx.output_schema) and the delta query computing its instance.
+struct PropagatedDiff {
+  DiffSchema schema;
+  PlanPtr query;
+  std::string rule_description;  // for the rule-DAG printer
+};
+
+// ---- Shared helpers used by the per-operator rule files ----
+
+// Leaf referencing the input diff instance by name.
+PlanPtr DiffRef(const std::string& diff_name, const DiffSchema& schema);
+
+// Rewrites `expr` (over target attribute names) so it evaluates over a diff
+// tuple's *post-state*: Ī′ columns stay, Ā″ columns map to __post, unchanged
+// Ā′ columns map to __pre (their post value equals their pre value).
+// Returns nullopt when some referenced attribute is not recoverable.
+std::optional<ExprPtr> TryRewriteToPost(const ExprPtr& expr,
+                                        const DiffSchema& diff);
+
+// Rewrites `expr` to evaluate over a diff tuple's *pre-state* (Ī′ stays,
+// Ā′ maps to __pre). Returns nullopt if not recoverable.
+std::optional<ExprPtr> TryRewriteToPre(const ExprPtr& expr,
+                                       const DiffSchema& diff);
+
+// Project of the diff renaming its ID columns to "__d_<id>" so they can be
+// joined with a subview that uses the plain names. Pre/post columns keep
+// their suffixed names.
+PlanPtr DiffWithPrefixedIds(const std::string& diff_name,
+                            const DiffSchema& schema);
+
+// Join `input` (a subview plan over plain attribute names) with the diff on
+// the diff's Ī′ columns. Combined schema: input columns ++ (__d_ids, pre,
+// post columns).
+PlanPtr JoinInputWithDiff(PlanPtr input, const std::string& diff_name,
+                          const DiffSchema& diff);
+
+// SemiJoin `input` ⋉_Ī′ diff (keeps input rows whose Ī′ matches a diff key).
+PlanPtr SemiJoinInputWithDiff(PlanPtr input, const std::string& diff_name,
+                              const DiffSchema& diff);
+
+// True iff the diff can reconstruct a full row of `schema` by itself: its
+// Ī′ equals `schema_ids` and every other column has a pre or post value.
+bool DiffCoversSchema(const Schema& schema,
+                      const std::vector<std::string>& schema_ids,
+                      const DiffSchema& diff);
+
+// State-aware variant: can the diff reconstruct the row in the given state?
+// Post rows may fall back to pre values for unchanged attributes; pre rows
+// require an actual pre value for every attribute the diff updates.
+bool DiffCoversSchemaState(const Schema& schema,
+                           const std::vector<std::string>& schema_ids,
+                           const DiffSchema& diff, bool post_state);
+
+// Projects the diff to full plain-named rows of `schema` (requires
+// DiffCoversSchema). With `use_post`, updated attributes take their post
+// value (post-state row); otherwise their pre value (pre-state row).
+// Attributes present in only one state use that state.
+PlanPtr DiffAsPlainRows(const std::string& diff_name, const DiffSchema& diff,
+                        const Schema& schema, bool use_post);
+
+// Insert-diff schema for an operator output: full IDs, all non-ID attributes
+// as post.
+DiffSchema MakeInsertSchema(const RuleContext& ctx);
+
+// Projection from a relation holding the operator's full output columns
+// (plain names) to the insert-diff layout (ids plain, attrs as __post).
+PlanPtr ProjectPlainRowsToInsertDiff(PlanPtr rows, const RuleContext& ctx);
+
+// ---- Per-operator propagation (implemented in rules_<op>.cc) ----
+
+std::vector<PropagatedDiff> PropagateThroughSelect(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff);
+
+std::vector<PropagatedDiff> PropagateThroughProject(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff);
+
+// `input_index` says which join input the diff arrived on (0 = left).
+std::vector<PropagatedDiff> PropagateThroughJoin(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index);
+
+std::vector<PropagatedDiff> PropagateThroughUnionAll(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index);
+
+std::vector<PropagatedDiff> PropagateThroughAntiSemiJoin(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index);
+
+// The ⋉ dual of Table 13 (semijoins appear in delta queries throughout the
+// paper; as a *view* operator they behave like an existential filter).
+std::vector<PropagatedDiff> PropagateThroughSemiJoin(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index);
+
+// Dispatch on ctx.op->kind() (σ, π, ⋈, ∪, ⋉̄).
+std::vector<PropagatedDiff> PropagateThroughOperator(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index);
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_RULES_H_

@@ -1,0 +1,339 @@
+// i-diff propagation rules for the antisemijoin ⋉̄_φ(Inputl.X̄, Inputr.Ȳ) —
+// Table 13 of the paper. The antisemijoin captures negation: V contains the
+// left tuples with no φ-partner on the right, so difference R − S is the
+// special case ⋉̄ over all shared attributes.
+//
+// Left-side diffs behave like selection diffs against a dynamic condition
+// (membership in the right side). Right-side diffs act inversely: inserts on
+// the right may *delete* view tuples, deletes on the right may *insert* left
+// tuples back into the view, and updates combine both.
+
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/core/rules.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+namespace {
+
+bool Intersects(const std::set<std::string>& a,
+                const std::vector<std::string>& b) {
+  for (const std::string& s : b) {
+    if (a.count(s) > 0) return true;
+  }
+  return false;
+}
+
+// Plain pre-/post-state rows of a diff, recovered from the diff itself when
+// wide enough, otherwise from the corresponding subview (keys driven by the
+// diff, wrapped in a materialization barrier to stay diff-driven upstream).
+PlanPtr RowsForDiff(const RuleContext& ctx, const std::string& diff_name,
+                    const DiffSchema& diff, size_t side, bool post_state) {
+  const Schema& schema = ctx.input_schemas[side];
+  const std::vector<std::string>& ids = ctx.input_ids[side];
+  if (DiffCoversSchemaState(schema, ids, diff, post_state)) {
+    return DiffAsPlainRows(diff_name, diff, schema, post_state);
+  }
+  const PlanPtr& subview =
+      post_state ? ctx.input_post[side] : ctx.input_pre[side];
+  return PlanNode::Materialize(
+      SemiJoinInputWithDiff(subview, diff_name, diff));
+}
+
+// π onto the left IDs, producing a delete-diff layout.
+PlanPtr ProjectToDelete(PlanPtr rows, const std::vector<std::string>& ids) {
+  std::vector<ProjectItem> items;
+  for (const std::string& id : ids) items.push_back({Col(id), id});
+  return PlanNode::Project(std::move(rows), std::move(items));
+}
+
+}  // namespace
+
+std::vector<PropagatedDiff> PropagateThroughAntiSemiJoin(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index) {
+  const ExprPtr& phi = ctx.op->predicate();
+  const Schema& left_schema = ctx.input_schemas[0];
+  const std::vector<std::string>& left_ids = ctx.input_ids[0];
+  const PlanPtr& left_post = ctx.input_post[0];
+  const PlanPtr& right_post = ctx.input_post[1];
+  std::vector<PropagatedDiff> out;
+
+  // Condition attributes on the diff's side.
+  const std::set<std::string> side_cols =
+      ctx.input_schemas[input_index].ColumnNameSet();
+  std::vector<std::string> side_cond_attrs;
+  for (const std::string& col : ReferencedColumns(phi)) {
+    if (side_cols.count(col) > 0) side_cond_attrs.push_back(col);
+  }
+  const std::set<std::string> changed(diff.post_columns().begin(),
+                                      diff.post_columns().end());
+
+  if (input_index == 0) {
+    switch (diff.type()) {
+      case DiffType::kInsert: {
+        // ∆+_V = ∆+ ⋉̄_φ(X̄post) Input_post_r.
+        PlanPtr plain = DiffAsPlainRows(diff_name, diff, left_schema,
+                                        /*use_post=*/true);
+        PlanPtr filtered =
+            PlanNode::AntiSemiJoin(std::move(plain), right_post, phi);
+        out.push_back({MakeInsertSchema(ctx),
+                       ProjectPlainRowsToInsertDiff(std::move(filtered), ctx),
+                       "⋉̄: ∆+_V = ∆+ ⋉̄φ Input_post_r"});
+        return out;
+      }
+      case DiffType::kDelete: {
+        // ∆-_V = ∆- (Table 13: deletes pass through).
+        DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                          diff.id_columns(), diff.pre_columns(), {});
+        out.push_back({schema, DiffRef(diff_name, diff),
+                       "⋉̄: ∆-_V = ∆-"});
+        return out;
+      }
+      case DiffType::kUpdate: {
+        if (!Intersects(changed, side_cond_attrs)) {
+          // Membership unaffected: ∆u_V = ∆u.
+          DiffSchema schema(DiffType::kUpdate, ctx.node_name,
+                            ctx.output_schema, diff.id_columns(),
+                            diff.pre_columns(), diff.post_columns());
+          out.push_back({schema, DiffRef(diff_name, diff),
+                         "⋉̄: ∆u_V = ∆u (condition attrs unchanged)"});
+          return out;
+        }
+        // Condition attributes updated: delete affected keys, re-insert the
+        // ones currently unblocked.
+        DiffSchema del_schema(DiffType::kDelete, ctx.node_name,
+                              ctx.output_schema, diff.id_columns(),
+                              diff.pre_columns(), {});
+        // Project the update diff to the delete layout (IDs + pre columns).
+        std::vector<ProjectItem> del_items;
+        for (const std::string& id : diff.id_columns()) {
+          del_items.push_back({Col(id), id});
+        }
+        for (const std::string& attr : diff.pre_columns()) {
+          del_items.push_back({Col(PreName(attr)), PreName(attr)});
+        }
+        out.push_back({del_schema,
+                       PlanNode::Project(DiffRef(diff_name, diff), del_items),
+                       "⋉̄: ∆-_V = π_Ī′ ∆u (condition attrs updated)"});
+        PlanPtr rows =
+            RowsForDiff(ctx, diff_name, diff, /*side=*/0, /*post_state=*/true);
+        PlanPtr unblocked =
+            PlanNode::AntiSemiJoin(std::move(rows), right_post, phi);
+        out.push_back(
+            {MakeInsertSchema(ctx),
+             ProjectPlainRowsToInsertDiff(std::move(unblocked), ctx),
+             "⋉̄: ∆+_V = (Input_post_l ⋉_Ī′ ∆u) ⋉̄φ Input_post_r"});
+        return out;
+      }
+    }
+  }
+
+  // ---- diffs on the right (subtracted) input ----
+  switch (diff.type()) {
+    case DiffType::kInsert: {
+      // New right tuples may knock left tuples out of the view:
+      // ∆-_V = π_Īl(Input_post_l ⋉φ ∆+r).
+      PlanPtr plain = DiffAsPlainRows(diff_name, diff, ctx.input_schemas[1],
+                                      /*use_post=*/true);
+      PlanPtr blocked =
+          PlanNode::SemiJoin(left_post, std::move(plain), phi);
+      DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                        left_ids, {}, {});
+      out.push_back({schema, ProjectToDelete(std::move(blocked), left_ids),
+                     "⋉̄: ∆-_V = π_Īl(Input_post_l ⋉φ ∆+r)"});
+      return out;
+    }
+    case DiffType::kDelete: {
+      // Removed right tuples may re-admit left tuples:
+      // ∆+_V = (Input_post_l ⋉φ(pre) ∆-r) ⋉̄φ Input_post_r.
+      PlanPtr deleted_rows = RowsForDiff(ctx, diff_name, diff, /*side=*/1,
+                                         /*post_state=*/false);
+      PlanPtr candidates = PlanNode::Materialize(
+          PlanNode::SemiJoin(left_post, std::move(deleted_rows), phi));
+      PlanPtr admitted =
+          PlanNode::AntiSemiJoin(std::move(candidates), right_post, phi);
+      out.push_back({MakeInsertSchema(ctx),
+                     ProjectPlainRowsToInsertDiff(std::move(admitted), ctx),
+                     "⋉̄: ∆+_V = (Input_post_l ⋉φ ∆-r) ⋉̄φ Input_post_r"});
+      return out;
+    }
+    case DiffType::kUpdate: {
+      if (!Intersects(changed, side_cond_attrs)) {
+        return out;  // Ȳ ∩ Ā″post = ∅: not triggered (Table 13).
+      }
+      // Treat the update as delete(pre rows) + insert(post rows) — the
+      // strategy Table 13 itself prescribes for right-side updates.
+      {
+        PlanPtr post_rows = RowsForDiff(ctx, diff_name, diff, /*side=*/1,
+                                        /*post_state=*/true);
+        PlanPtr blocked = PlanNode::SemiJoin(left_post, std::move(post_rows),
+                                             phi);
+        DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                          left_ids, {}, {});
+        out.push_back({schema, ProjectToDelete(std::move(blocked), left_ids),
+                       "⋉̄: ∆-_V = π_Īl(Input_post_l ⋉φ(post) ∆u_r)"});
+      }
+      {
+        PlanPtr pre_rows = RowsForDiff(ctx, diff_name, diff, /*side=*/1,
+                                       /*post_state=*/false);
+        PlanPtr candidates = PlanNode::Materialize(
+            PlanNode::SemiJoin(left_post, std::move(pre_rows), phi));
+        PlanPtr admitted =
+            PlanNode::AntiSemiJoin(std::move(candidates), right_post, phi);
+        out.push_back(
+            {MakeInsertSchema(ctx),
+             ProjectPlainRowsToInsertDiff(std::move(admitted), ctx),
+             "⋉̄: ∆+_V = (Input_post_l ⋉φ(pre) ∆u_r) ⋉̄φ Input_post_r"});
+      }
+      return out;
+    }
+  }
+  IDIVM_UNREACHABLE("bad DiffType");
+}
+
+std::vector<PropagatedDiff> PropagateThroughSemiJoin(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index) {
+  const ExprPtr& phi = ctx.op->predicate();
+  const Schema& left_schema = ctx.input_schemas[0];
+  const PlanPtr& left_post = ctx.input_post[0];
+  const PlanPtr& right_post = ctx.input_post[1];
+  std::vector<PropagatedDiff> out;
+
+  std::set<std::string> side_cols(
+      ctx.input_schemas[input_index].ColumnNameSet());
+  std::vector<std::string> side_cond_attrs;
+  for (const std::string& col : ReferencedColumns(phi)) {
+    if (side_cols.count(col) > 0) side_cond_attrs.push_back(col);
+  }
+  const std::set<std::string> changed(diff.post_columns().begin(),
+                                      diff.post_columns().end());
+
+  if (input_index == 0) {
+    switch (diff.type()) {
+      case DiffType::kInsert: {
+        // ∆+_V = ∆+ ⋉φ Input_post_r: only inserted rows with a partner.
+        PlanPtr plain = DiffAsPlainRows(diff_name, diff, left_schema,
+                                        /*use_post=*/true);
+        PlanPtr kept = PlanNode::SemiJoin(std::move(plain), right_post, phi);
+        out.push_back({MakeInsertSchema(ctx),
+                       ProjectPlainRowsToInsertDiff(std::move(kept), ctx),
+                       "⋉: ∆+_V = ∆+ ⋉φ Input_post_r"});
+        return out;
+      }
+      case DiffType::kDelete: {
+        DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                          diff.id_columns(), diff.pre_columns(), {});
+        out.push_back({schema, DiffRef(diff_name, diff), "⋉: ∆-_V = ∆-"});
+        return out;
+      }
+      case DiffType::kUpdate: {
+        if (!Intersects(changed, side_cond_attrs)) {
+          DiffSchema schema(DiffType::kUpdate, ctx.node_name,
+                            ctx.output_schema, diff.id_columns(),
+                            diff.pre_columns(), diff.post_columns());
+          out.push_back({schema, DiffRef(diff_name, diff),
+                         "⋉: ∆u_V = ∆u (condition attrs unchanged)"});
+          return out;
+        }
+        // Condition affected: delete the keys, re-insert surviving matches.
+        DiffSchema del_schema(DiffType::kDelete, ctx.node_name,
+                              ctx.output_schema, diff.id_columns(),
+                              diff.pre_columns(), {});
+        std::vector<ProjectItem> del_items;
+        for (const std::string& id : diff.id_columns()) {
+          del_items.push_back({Col(id), id});
+        }
+        for (const std::string& attr : diff.pre_columns()) {
+          del_items.push_back({Col(PreName(attr)), PreName(attr)});
+        }
+        out.push_back({del_schema,
+                       PlanNode::Project(DiffRef(diff_name, diff), del_items),
+                       "⋉: ∆-_V = π_Ī′ ∆u (condition attrs updated)"});
+        PlanPtr rows =
+            RowsForDiff(ctx, diff_name, diff, /*side=*/0, /*post_state=*/true);
+        PlanPtr kept = PlanNode::SemiJoin(std::move(rows), right_post, phi);
+        out.push_back(
+            {MakeInsertSchema(ctx),
+             ProjectPlainRowsToInsertDiff(std::move(kept), ctx),
+             "⋉: ∆+_V = (Input_post_l ⋉_Ī′ ∆u) ⋉φ Input_post_r"});
+        return out;
+      }
+    }
+  }
+
+  // ---- diffs on the right (existence-witness) input: inverse of ⋉̄ ----
+  switch (diff.type()) {
+    case DiffType::kInsert: {
+      // New witnesses admit left rows (duplicates removed by the NOT-IN
+      // guard and by keyed-probe dedup).
+      PlanPtr plain = DiffAsPlainRows(diff_name, diff, ctx.input_schemas[1],
+                                      /*use_post=*/true);
+      PlanPtr admitted = PlanNode::SemiJoin(left_post, std::move(plain), phi);
+      out.push_back({MakeInsertSchema(ctx),
+                     ProjectPlainRowsToInsertDiff(std::move(admitted), ctx),
+                     "⋉: ∆+_V = Input_post_l ⋉φ ∆+r"});
+      return out;
+    }
+    case DiffType::kDelete: {
+      // Left rows that matched the removed witnesses and have none left.
+      PlanPtr deleted_rows = RowsForDiff(ctx, diff_name, diff, /*side=*/1,
+                                         /*post_state=*/false);
+      PlanPtr candidates = PlanNode::Materialize(
+          PlanNode::SemiJoin(left_post, std::move(deleted_rows), phi));
+      PlanPtr gone =
+          PlanNode::AntiSemiJoin(std::move(candidates), right_post, phi);
+      DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                        ctx.input_ids[0], {}, {});
+      std::vector<ProjectItem> items;
+      for (const std::string& id : ctx.input_ids[0]) {
+        items.push_back({Col(id), id});
+      }
+      out.push_back({schema,
+                     PlanNode::Project(std::move(gone), items),
+                     "⋉: ∆-_V = π_Īl((Input_post_l ⋉φ ∆-r) ⋉̄φ "
+                     "Input_post_r)"});
+      return out;
+    }
+    case DiffType::kUpdate: {
+      if (!Intersects(changed, side_cond_attrs)) return out;  // no effect
+      // Post rows admit; pre rows may orphan.
+      {
+        PlanPtr post_rows = RowsForDiff(ctx, diff_name, diff, /*side=*/1,
+                                        /*post_state=*/true);
+        PlanPtr admitted =
+            PlanNode::SemiJoin(left_post, std::move(post_rows), phi);
+        out.push_back(
+            {MakeInsertSchema(ctx),
+             ProjectPlainRowsToInsertDiff(std::move(admitted), ctx),
+             "⋉: ∆+_V = Input_post_l ⋉φ(post) ∆u_r"});
+      }
+      {
+        PlanPtr pre_rows = RowsForDiff(ctx, diff_name, diff, /*side=*/1,
+                                       /*post_state=*/false);
+        PlanPtr candidates = PlanNode::Materialize(
+            PlanNode::SemiJoin(left_post, std::move(pre_rows), phi));
+        PlanPtr gone =
+            PlanNode::AntiSemiJoin(std::move(candidates), right_post, phi);
+        DiffSchema schema(DiffType::kDelete, ctx.node_name,
+                          ctx.output_schema, ctx.input_ids[0], {}, {});
+        std::vector<ProjectItem> items;
+        for (const std::string& id : ctx.input_ids[0]) {
+          items.push_back({Col(id), id});
+        }
+        out.push_back({schema,
+                       PlanNode::Project(std::move(gone), items),
+                       "⋉: ∆-_V = π_Īl((Input_post_l ⋉φ(pre) ∆u_r) ⋉̄φ "
+                       "Input_post_r)"});
+      }
+      return out;
+    }
+  }
+  IDIVM_UNREACHABLE("bad DiffType");
+}
+
+}  // namespace idivm

@@ -1,0 +1,313 @@
+// i-diff propagation rules for generalized projection π_D̄,f(X̄)→c — Table 8.
+//
+// The power of the ID-based approach shows here: an update diff whose
+// changed attributes are all projected out produces *no* output diff at all,
+// and an update affecting computed columns is mapped through the functions
+// without touching base data whenever the diff carries the inputs
+// (σ_isupd drops rows whose computed post values equal their pre values).
+
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/core/rules.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+namespace {
+
+bool Intersects(const std::set<std::string>& a,
+                const std::vector<std::string>& b) {
+  for (const std::string& s : b) {
+    if (a.count(s) > 0) return true;
+  }
+  return false;
+}
+
+bool IsOutputId(const RuleContext& ctx, const std::string& name) {
+  return std::find(ctx.output_ids.begin(), ctx.output_ids.end(), name) !=
+         ctx.output_ids.end();
+}
+
+// Maps the diff's input-side ID columns to their output names (the items
+// that pass them through). Returns nullopt when the projection drops one of
+// them — possible when the diff is keyed on a functionally-determined
+// column that is not part of the inferred view ID (e.g. a lookup-join
+// partner key); the caller then rekeys through Input.
+std::optional<std::vector<std::string>> MapIdsThroughProject(
+    const RuleContext& ctx, const DiffSchema& diff) {
+  std::vector<std::string> out;
+  for (const std::string& id : diff.id_columns()) {
+    bool found = false;
+    for (const ProjectItem& item : ctx.op->project_items()) {
+      if (item.expr->kind() == ExprKind::kColumn &&
+          item.expr->column_name() == id) {
+        out.push_back(item.name);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return out;
+}
+
+// Rekeying fallback for a delete diff whose Ī′ is projected out: recover
+// the affected output IDs from the *pre-state* input (the matching rows are
+// gone from the post state).
+PropagatedDiff RekeyedDelete(const RuleContext& ctx,
+                             const std::string& diff_name,
+                             const DiffSchema& diff) {
+  PlanPtr matched =
+      SemiJoinInputWithDiff(ctx.input_pre[0], diff_name, diff);
+  std::vector<ProjectItem> items;
+  for (const std::string& id : ctx.output_ids) {
+    for (const ProjectItem& item : ctx.op->project_items()) {
+      if (item.name == id) {
+        items.push_back({item.expr, id});
+        break;
+      }
+    }
+  }
+  IDIVM_CHECK(items.size() == ctx.output_ids.size(),
+              "output IDs missing from projection items");
+  DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                    ctx.output_ids, {}, {});
+  return {schema, PlanNode::Project(std::move(matched), items),
+          "π: ∆-_V = π_Ī(Input_pre ⋉_Ī′ ∆-) (rekeyed)"};
+}
+
+}  // namespace
+
+std::vector<PropagatedDiff> PropagateThroughProject(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff) {
+  const std::vector<ProjectItem>& items = ctx.op->project_items();
+  std::vector<PropagatedDiff> out;
+
+  switch (diff.type()) {
+    case DiffType::kInsert: {
+      // ∆+_V = π_D̄,f(X̄)→c ∆+ : compute every item over the diff's post row.
+      // Layout matches MakeInsertSchema: IDs first, then __post.
+      auto item_named = [&](const std::string& name) -> const ProjectItem& {
+        for (const ProjectItem& item : items) {
+          if (item.name == name) return item;
+        }
+        IDIVM_UNREACHABLE(StrCat("no projection item named ", name));
+      };
+      std::vector<ProjectItem> layout;
+      for (const std::string& id : ctx.output_ids) {
+        std::optional<ExprPtr> post =
+            TryRewriteToPost(item_named(id).expr, diff);
+        IDIVM_CHECK(post.has_value(),
+                    "insert i-diffs must cover all attributes");
+        layout.push_back({*post, id});
+      }
+      for (const ProjectItem& item : items) {
+        if (IsOutputId(ctx, item.name)) continue;
+        std::optional<ExprPtr> post = TryRewriteToPost(item.expr, diff);
+        IDIVM_CHECK(post.has_value(),
+                    "insert i-diffs must cover all attributes");
+        layout.push_back({*post, PostName(item.name)});
+      }
+      out.push_back({MakeInsertSchema(ctx),
+                     PlanNode::Project(DiffRef(diff_name, diff), layout),
+                     "π: ∆+_V = π_D̄,f(X̄)→c ∆+"});
+      return out;
+    }
+    case DiffType::kDelete: {
+      const std::optional<std::vector<std::string>> maybe_ids =
+          MapIdsThroughProject(ctx, diff);
+      if (!maybe_ids.has_value()) {
+        out.push_back(RekeyedDelete(ctx, diff_name, diff));
+        return out;
+      }
+      const std::vector<std::string>& mapped_ids = *maybe_ids;
+      std::vector<ProjectItem> layout;
+      std::vector<std::string> pre_attrs;
+      for (size_t i = 0; i < diff.id_columns().size(); ++i) {
+        layout.push_back({Col(diff.id_columns()[i]), mapped_ids[i]});
+      }
+      // Carry pre-state for every output item recoverable from the diff
+      // (items that are the diff's own key columns excluded — they would
+      // overlap the ID set).
+      for (const ProjectItem& item : items) {
+        if (IsOutputId(ctx, item.name)) continue;
+        if (std::find(mapped_ids.begin(), mapped_ids.end(), item.name) !=
+            mapped_ids.end()) {
+          continue;
+        }
+        std::optional<ExprPtr> pre = TryRewriteToPre(item.expr, diff);
+        if (pre.has_value()) {
+          layout.push_back({*pre, PreName(item.name)});
+          pre_attrs.push_back(item.name);
+        }
+      }
+      DiffSchema schema(DiffType::kDelete, ctx.node_name, ctx.output_schema,
+                        mapped_ids, pre_attrs, {});
+      out.push_back({schema,
+                     PlanNode::Project(DiffRef(diff_name, diff), layout),
+                     "π: ∆-_V = π_(D̄∩(Ī∪Ā′pre)),Ī ∆-"});
+      return out;
+    }
+    case DiffType::kUpdate:
+      break;
+  }
+
+  // --- update diffs ---
+  // When the diff's Ī′ is projected out, rekey through Input_post (the
+  // general branch keyed by the full output ID).
+  const std::optional<std::vector<std::string>> maybe_ids =
+      MapIdsThroughProject(ctx, diff);
+  const bool ids_dropped = !maybe_ids.has_value();
+  const std::vector<std::string> mapped_ids =
+      ids_dropped ? std::vector<std::string>{} : *maybe_ids;
+  const std::set<std::string> changed(diff.post_columns().begin(),
+                                      diff.post_columns().end());
+
+  // Classify output items.
+  struct AffectedItem {
+    const ProjectItem* item;
+    std::optional<ExprPtr> post;  // from diff; nullopt -> needs Input_post
+    std::optional<ExprPtr> pre;   // from diff
+  };
+  std::vector<AffectedItem> affected;
+  bool need_input = ids_dropped;
+  for (const ProjectItem& item : items) {
+    if (IsOutputId(ctx, item.name)) continue;
+    const std::set<std::string> refs = ReferencedColumns(item.expr);
+    if (!Intersects(refs, diff.post_columns())) continue;  // unchanged
+    AffectedItem a{&item, TryRewriteToPost(item.expr, diff),
+                   TryRewriteToPre(item.expr, diff)};
+    if (!ctx.options.prefer_diff_only_branches) a.post.reset();
+    if (!a.post.has_value()) need_input = true;
+    affected.push_back(std::move(a));
+  }
+  (void)changed;
+
+  if (affected.empty()) {
+    // All updated attributes are projected out: the view is untouched and no
+    // diff is propagated ("not triggered").
+    return out;
+  }
+
+  // Key choice (Section 2, "IDs and functional dependencies"): a diff may
+  // identify view tuples through a key component Ī′ only when the updated
+  // attributes are functionally determined by it. Items computed purely from
+  // the diff satisfy this (the diff's own FD); items that need Input_post
+  // mix in attributes determined by *other* key components, so the general
+  // branch must key its output by the full view ID (recovered from the
+  // joined input rows).
+  bool need_input_precheck = ids_dropped;
+  for (const AffectedItem& a : affected) {
+    if (!a.post.has_value()) need_input_precheck = true;
+  }
+
+  // Build the layout in DiffSchema order: IDs, then pre columns, then post
+  // columns.
+  std::vector<std::string> post_attrs;
+  std::vector<std::string> pre_attrs;
+  std::vector<ProjectItem> id_items;
+  std::vector<ProjectItem> pre_items;
+  std::vector<ProjectItem> post_items;
+  std::vector<std::string> out_ids;
+  if (!need_input_precheck) {
+    out_ids = mapped_ids;
+    for (size_t i = 0; i < diff.id_columns().size(); ++i) {
+      id_items.push_back({Col(diff.id_columns()[i]), mapped_ids[i]});
+    }
+  } else {
+    out_ids = ctx.output_ids;
+    for (const std::string& id : ctx.output_ids) {
+      // Every output ID passes a child column through (ID inference).
+      for (const ProjectItem& item : items) {
+        if (item.name == id) {
+          id_items.push_back({item.expr, id});
+          break;
+        }
+      }
+    }
+    IDIVM_CHECK(id_items.size() == ctx.output_ids.size(),
+                "output IDs missing from projection items");
+  }
+  // isupd: at least one computed post differs from its pre counterpart.
+  // Only sound when every affected item has a recoverable pre value.
+  bool all_have_pre = true;
+  std::vector<ExprPtr> isupd_checks;
+  for (const AffectedItem& a : affected) {
+    ExprPtr post_expr =
+        a.post.has_value() ? *a.post : a.item->expr;  // plain = Input_post
+    post_items.push_back({post_expr, PostName(a.item->name)});
+    post_attrs.push_back(a.item->name);
+    if (a.pre.has_value()) {
+      pre_items.push_back({*a.pre, PreName(a.item->name)});
+      pre_attrs.push_back(a.item->name);
+      // Expressed over the *projected* layout (the σ_isupd runs above π).
+      // NULL-safe distinctness: values differ, or exactly one is NULL.
+      const ExprPtr post_col = Col(PostName(a.item->name));
+      const ExprPtr pre_col = Col(PreName(a.item->name));
+      isupd_checks.push_back(
+          Or(Ne(post_col, pre_col),
+             Ne(Expr::Function("isnull", {post_col}),
+                Expr::Function("isnull", {pre_col}))));
+    } else {
+      all_have_pre = false;
+    }
+  }
+  ExprPtr isupd;
+  if (all_have_pre && !isupd_checks.empty()) {
+    isupd = isupd_checks[0];
+    for (size_t i = 1; i < isupd_checks.size(); ++i) {
+      isupd = Or(isupd, isupd_checks[i]);
+    }
+  }
+  // Also carry pre-state for *unchanged* recoverable items — downstream
+  // operators use pre values to cut overestimation. Items that ARE this
+  // diff's key (mapped Ī′) are skipped: they would overlap the ID set.
+  for (const ProjectItem& item : items) {
+    if (IsOutputId(ctx, item.name)) continue;
+    if (std::find(out_ids.begin(), out_ids.end(), item.name) !=
+        out_ids.end()) {
+      continue;
+    }
+    bool already = false;
+    for (const AffectedItem& a : affected) {
+      if (a.item == &item) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    std::optional<ExprPtr> pre = TryRewriteToPre(item.expr, diff);
+    if (pre.has_value()) {
+      pre_items.push_back({*pre, PreName(item.name)});
+      pre_attrs.push_back(item.name);
+    }
+  }
+  std::vector<ProjectItem> layout = id_items;
+  layout.insert(layout.end(), pre_items.begin(), pre_items.end());
+  layout.insert(layout.end(), post_items.begin(), post_items.end());
+
+  DiffSchema schema(DiffType::kUpdate, ctx.node_name, ctx.output_schema,
+                    out_ids, pre_attrs, post_attrs);
+
+  PlanPtr source;
+  std::string rule;
+  if (!need_input) {
+    source = DiffRef(diff_name, diff);
+    rule = "π: ∆u_V = σ_isupd π_D̄′,f(X̄),Ī ∆u";
+  } else {
+    // General branch: recover function inputs from Input_post.
+    source = JoinInputWithDiff(ctx.input_post[0], diff_name, diff);
+    // The layout's id columns reference plain names present on the input
+    // side of the join, so the projection below still binds.
+    rule = "π: ∆u_V = σ_isupd π_D̄′,f(X̄)(Input_post ⋉_Ī′ ∆u)";
+  }
+  PlanPtr query = PlanNode::Project(std::move(source), layout);
+  if (isupd != nullptr) query = PlanNode::Select(std::move(query), isupd);
+  out.push_back({schema, std::move(query), rule});
+  return out;
+}
+
+}  // namespace idivm

@@ -1,0 +1,79 @@
+// i-diff propagation rules for the union all operator — Table 5.
+//
+// Union all carries the branch attribute b (0 = left child, 1 = right child,
+// paper footnote 2) so that output IDs stay keys. Diffs pass through with
+// b appended to their ID columns.
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/core/rules.h"
+
+namespace idivm {
+
+std::vector<PropagatedDiff> PropagateThroughUnionAll(
+    const RuleContext& ctx, const std::string& diff_name,
+    const DiffSchema& diff, size_t input_index) {
+  const std::string& b = ctx.op->branch_column();
+  const Value branch(static_cast<int64_t>(input_index));
+  std::vector<PropagatedDiff> out;
+
+  if (diff.type() == DiffType::kInsert) {
+    // The output key is ID(l) ∪ ID(r) ∪ {b}; IDs of the *other* branch are
+    // regular attributes of this child (children share column names), so an
+    // insert diff covers them as post values.
+    // Layout must match the DiffSchema: ID columns first, then __post.
+    std::vector<ProjectItem> items;
+    std::vector<std::string> post_attrs;
+    auto source_for = [&](const std::string& name) -> ExprPtr {
+      const bool diff_has_plain =
+          std::find(diff.id_columns().begin(), diff.id_columns().end(),
+                    name) != diff.id_columns().end();
+      return diff_has_plain ? Col(name) : Col(PostName(name));
+    };
+    for (const std::string& id : ctx.output_ids) {
+      if (id == b) {
+        items.push_back({Lit(branch), b});
+      } else {
+        items.push_back({source_for(id), id});
+      }
+    }
+    for (const ColumnDef& col : ctx.output_schema.columns()) {
+      const bool is_id =
+          std::find(ctx.output_ids.begin(), ctx.output_ids.end(), col.name) !=
+          ctx.output_ids.end();
+      if (is_id) continue;
+      items.push_back({source_for(col.name), PostName(col.name)});
+      post_attrs.push_back(col.name);
+    }
+    DiffSchema schema(DiffType::kInsert, ctx.node_name, ctx.output_schema,
+                      ctx.output_ids, {}, post_attrs);
+    out.push_back({schema,
+                   PlanNode::Project(DiffRef(diff_name, diff), items),
+                   StrCat("∪: ∆+_V = π_*,b→", input_index, " ∆+")});
+    return out;
+  }
+
+  // Update / delete: pass through with b appended to the key. Layout must
+  // match the DiffSchema order: IDs (incl. b), then pre, then post.
+  std::vector<std::string> ids = diff.id_columns();
+  ids.push_back(b);
+  std::vector<ProjectItem> items;
+  for (const std::string& id : diff.id_columns()) {
+    items.push_back({Col(id), id});
+  }
+  items.push_back({Lit(branch), b});
+  for (const std::string& attr : diff.pre_columns()) {
+    items.push_back({Col(PreName(attr)), PreName(attr)});
+  }
+  for (const std::string& attr : diff.post_columns()) {
+    items.push_back({Col(PostName(attr)), PostName(attr)});
+  }
+  DiffSchema schema(diff.type(), ctx.node_name, ctx.output_schema, ids,
+                    diff.pre_columns(), diff.post_columns());
+  out.push_back({schema, PlanNode::Project(DiffRef(diff_name, diff), items),
+                 StrCat("∪: ∆", DiffTypeName(diff.type()), "_V = π_*,b→",
+                        input_index, " ∆")});
+  return out;
+}
+
+}  // namespace idivm

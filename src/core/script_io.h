@@ -1,0 +1,39 @@
+// Persistence for the ∆-script repository (Fig. 3): a CompiledView — the
+// precomputed result of view-definition time — serializes to a textual
+// s-expression form and loads back in a later process, so maintenance time
+// never re-runs the 4-pass generator. The materialized view and cache
+// tables are database state and must already exist when loading (the
+// repository stores scripts, not data); recreating them from scratch is
+// CompileView's job.
+
+#ifndef IDIVM_CORE_SCRIPT_IO_H_
+#define IDIVM_CORE_SCRIPT_IO_H_
+
+#include <string>
+
+#include "src/core/compose.h"
+
+namespace idivm {
+
+// Serializes every part of the compiled view: the ID-annotated plan, the
+// input diff bindings, the diff registry, all script steps (including the
+// native aggregate steps) and the cache-table list.
+std::string SerializeCompiledView(const CompiledView& view);
+
+struct LoadResult {
+  bool ok = false;
+  CompiledView view;
+  std::string error;
+};
+
+// Parses a serialized view. Validates that the view table and every cache
+// table it references exist in `db`.
+LoadResult LoadCompiledView(const std::string& text, const Database& db);
+
+// Expression / plan serialization, exposed for tests and tooling.
+std::string SerializeExpr(const ExprPtr& expr);
+std::string SerializePlan(const PlanPtr& plan);
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_SCRIPT_IO_H_

@@ -1,0 +1,125 @@
+#include "src/core/view_manager.h"
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/core/script_io.h"
+
+namespace idivm {
+
+ViewManager::ViewManager(Database* db, RefreshMode mode)
+    : db_(db), mode_(mode), logger_(db) {
+  IDIVM_CHECK(db_ != nullptr);
+}
+
+Maintainer& ViewManager::DefineView(const std::string& name,
+                                    const PlanPtr& plan,
+                                    const CompilerOptions& options) {
+  IDIVM_CHECK(!HasView(name), StrCat("view already defined: ", name));
+  views_.emplace_back(name, std::make_unique<Maintainer>(
+                                db_, CompileView(name, plan, *db_, options)));
+  return *views_.back().second;
+}
+
+bool ViewManager::HasView(const std::string& name) const {
+  for (const auto& [view_name, maintainer] : views_) {
+    if (view_name == name) return true;
+  }
+  return false;
+}
+
+Maintainer& ViewManager::GetView(const std::string& name) {
+  for (auto& [view_name, maintainer] : views_) {
+    if (view_name == name) return *maintainer;
+  }
+  IDIVM_UNREACHABLE(StrCat("no such view: ", name));
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [name, maintainer] : views_) out.push_back(name);
+  return out;
+}
+
+void ViewManager::DropView(const std::string& name) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if (it->first != name) continue;
+    for (const std::string& cache : it->second->view().cache_tables) {
+      db_->DropTable(cache);
+    }
+    db_->DropTable(name);
+    views_.erase(it);
+    return;
+  }
+  IDIVM_UNREACHABLE(StrCat("no such view: ", name));
+}
+
+void ViewManager::Insert(const std::string& table, Row row) {
+  logger_.Insert(table, std::move(row));
+  if (mode_ == RefreshMode::kEager) Refresh();
+}
+
+bool ViewManager::Delete(const std::string& table, const Row& key) {
+  const bool ok = logger_.Delete(table, key);
+  if (ok && mode_ == RefreshMode::kEager) Refresh();
+  return ok;
+}
+
+bool ViewManager::Update(const std::string& table, const Row& key,
+                         const std::vector<std::string>& set_columns,
+                         const Row& values) {
+  const bool ok = logger_.Update(table, key, set_columns, values);
+  if (ok && mode_ == RefreshMode::kEager) Refresh();
+  return ok;
+}
+
+std::string ViewManager::SerializeRepository() const {
+  std::string out = StrCat("(repository 1 ", views_.size(), "\n");
+  for (const auto& [name, maintainer] : views_) {
+    out += SerializeCompiledView(maintainer->view());
+    out += "\n";
+  }
+  out += ")\n";
+  return out;
+}
+
+std::string ViewManager::LoadRepository(const std::string& text) {
+  // Minimal framing: "(repository 1 <n>" followed by n compiled views.
+  size_t pos = text.find("(repository 1 ");
+  if (pos != 0) return "not a repository dump";
+  pos = text.find('\n');
+  size_t count = 0;
+  {
+    const std::string header = text.substr(14, pos - 14);
+    count = static_cast<size_t>(std::stoll(header));
+  }
+  size_t cursor = pos + 1;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t start = text.find("(compiled-view", cursor);
+    if (start == std::string::npos) return "missing compiled view";
+    size_t next = text.find("(compiled-view", start + 1);
+    if (next == std::string::npos) next = text.size();
+    const LoadResult loaded =
+        LoadCompiledView(text.substr(start, next - start), *db_);
+    if (!loaded.ok) return loaded.error;
+    IDIVM_CHECK(!HasView(loaded.view.view_name),
+                StrCat("view already loaded: ", loaded.view.view_name));
+    views_.emplace_back(loaded.view.view_name,
+                        std::make_unique<Maintainer>(db_, loaded.view));
+    cursor = next;
+  }
+  return "";
+}
+
+std::map<std::string, MaintainResult> ViewManager::Refresh() {
+  std::map<std::string, MaintainResult> out;
+  const auto net = logger_.NetChanges();
+  logger_.Clear();
+  if (net.empty()) return out;
+  for (auto& [name, maintainer] : views_) {
+    out.emplace(name, maintainer->Maintain(net));
+  }
+  return out;
+}
+
+}  // namespace idivm

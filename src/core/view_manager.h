@@ -1,0 +1,72 @@
+// The system façade of Fig. 3: a ∆-script repository managing many
+// materialized views over one database, fed by a shared modification
+// logger. Supports the paper's two refresh disciplines:
+//   - deferred IVM (Sections 3-5, the mode this implementation's rules
+//     target): changes accumulate in the log; Refresh() runs every view's
+//     ∆-script against the compacted net changes;
+//   - eager IVM: every logged modification triggers maintenance of all
+//     views immediately (the architecture is identical; the log always
+//     holds exactly one modification when the scripts run).
+
+#ifndef IDIVM_CORE_VIEW_MANAGER_H_
+#define IDIVM_CORE_VIEW_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/maintainer.h"
+#include "src/core/modification_log.h"
+
+namespace idivm {
+
+enum class RefreshMode { kDeferred, kEager };
+
+class ViewManager {
+ public:
+  explicit ViewManager(Database* db,
+                       RefreshMode mode = RefreshMode::kDeferred);
+
+  // Compiles, materializes and registers a view. Returns the maintainer for
+  // introspection (owned by the manager).
+  Maintainer& DefineView(const std::string& name, const PlanPtr& plan,
+                         const CompilerOptions& options = {});
+
+  bool HasView(const std::string& name) const;
+  Maintainer& GetView(const std::string& name);
+  std::vector<std::string> ViewNames() const;
+
+  // Drops a view and its caches.
+  void DropView(const std::string& name);
+
+  // ---- Data modification (logged; eager mode refreshes immediately) ----
+  void Insert(const std::string& table, Row row);
+  bool Delete(const std::string& table, const Row& key);
+  bool Update(const std::string& table, const Row& key,
+              const std::vector<std::string>& set_columns, const Row& values);
+
+  // Deferred mode: maintains every registered view from the accumulated
+  // log, clears the log, and returns the per-view costs. In eager mode the
+  // log is always empty and this is a no-op.
+  std::map<std::string, MaintainResult> Refresh();
+
+  // ---- ∆-script repository persistence (Fig. 3) ----
+  // Serializes every registered view's compiled script. Loading re-attaches
+  // the scripts to an existing database whose view/cache tables are intact
+  // (the repository stores scripts, not data); returns an error message on
+  // failure, empty on success.
+  std::string SerializeRepository() const;
+  std::string LoadRepository(const std::string& text);
+
+ private:
+  Database* db_;
+  RefreshMode mode_;
+  ModificationLogger logger_;
+  // Ordered by definition: later views may (in principle) read earlier ones.
+  std::vector<std::pair<std::string, std::unique_ptr<Maintainer>>> views_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_CORE_VIEW_MANAGER_H_

@@ -1,0 +1,146 @@
+#include "src/diff/apply.h"
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/expr/expr.h"
+
+namespace idivm {
+
+namespace {
+
+// value + delta with SQL-ish NULL handling (NULL counts as 0).
+Value AddValues(const Value& current, const Value& delta) {
+  if (delta.is_null()) return current;
+  if (current.is_null()) return delta;
+  return expr_internal::EvalArith(ArithOp::kAdd, current, delta);
+}
+
+ApplyResult ApplyUpdate(const DiffInstance& diff, Table& target,
+                        ReturningImages* returning) {
+  const DiffSchema& schema = diff.schema();
+  const Schema& target_schema = target.schema();
+  const Schema& diff_rel = schema.relation_schema();
+
+  const std::vector<size_t> match_cols =
+      target_schema.ColumnIndices(schema.id_columns());
+  std::vector<size_t> set_cols;
+  std::vector<size_t> diff_post_cols;
+  for (const std::string& attr : schema.post_columns()) {
+    set_cols.push_back(target_schema.ColumnIndex(attr));
+    diff_post_cols.push_back(diff_rel.ColumnIndex(PostName(attr)));
+  }
+  std::vector<size_t> diff_id_cols;
+  for (const std::string& attr : schema.id_columns()) {
+    diff_id_cols.push_back(diff_rel.ColumnIndex(attr));
+  }
+
+  const bool additive = schema.additive();
+  ApplyResult result;
+  for (const Row& row : diff.data().rows()) {
+    ++result.diff_tuples;
+    const Row key = ProjectRow(row, diff_id_cols);
+    const Row new_values = ProjectRow(row, diff_post_cols);
+    std::vector<Row> pre;
+    std::vector<Row> post;
+    const size_t touched = target.UpdateRowsWhereEquals(
+        match_cols, key,
+        [&](Row& target_row) {
+          for (size_t i = 0; i < set_cols.size(); ++i) {
+            target_row[set_cols[i]] =
+                additive ? AddValues(target_row[set_cols[i]], new_values[i])
+                         : new_values[i];
+          }
+        },
+        returning != nullptr ? &pre : nullptr,
+        returning != nullptr ? &post : nullptr);
+    result.rows_touched += static_cast<int64_t>(touched);
+    if (touched == 0) ++result.dummy_tuples;
+    if (returning != nullptr) {
+      for (Row& r : pre) returning->pre_images.Append(std::move(r));
+      for (Row& r : post) returning->post_images.Append(std::move(r));
+    }
+  }
+  return result;
+}
+
+ApplyResult ApplyInsert(const DiffInstance& diff, Table& target,
+                        ReturningImages* returning) {
+  const DiffSchema& schema = diff.schema();
+  const Schema& target_schema = target.schema();
+  const Schema& diff_rel = schema.relation_schema();
+
+  // Map each target column to its source position in the diff tuple.
+  std::vector<size_t> source_cols;
+  for (const ColumnDef& col : target_schema.columns()) {
+    std::optional<size_t> idx = diff_rel.FindColumn(col.name);  // ID column
+    if (!idx.has_value()) idx = diff_rel.FindColumn(PostName(col.name));
+    IDIVM_CHECK(idx.has_value(),
+                StrCat("insert i-diff for ", schema.target(),
+                       " lacks column ", col.name));
+    source_cols.push_back(*idx);
+  }
+
+  ApplyResult result;
+  for (const Row& row : diff.data().rows()) {
+    ++result.diff_tuples;
+    Row target_row = ProjectRow(row, source_cols);
+    // NOT-IN guard: multiple insert i-diffs may try to insert the same tuple.
+    if (target.ContainsRow(target_row)) {
+      ++result.dummy_tuples;
+      continue;
+    }
+    if (returning != nullptr) returning->post_images.Append(target_row);
+    const bool inserted = target.Insert(std::move(target_row));
+    IDIVM_CHECK(inserted,
+                StrCat("non-effective insert i-diff for ", schema.target(),
+                       ": key exists with different attribute values"));
+    ++result.rows_touched;
+  }
+  return result;
+}
+
+ApplyResult ApplyDelete(const DiffInstance& diff, Table& target,
+                        ReturningImages* returning) {
+  const DiffSchema& schema = diff.schema();
+  const Schema& target_schema = target.schema();
+  const Schema& diff_rel = schema.relation_schema();
+
+  const std::vector<size_t> match_cols =
+      target_schema.ColumnIndices(schema.id_columns());
+  std::vector<size_t> diff_id_cols;
+  for (const std::string& attr : schema.id_columns()) {
+    diff_id_cols.push_back(diff_rel.ColumnIndex(attr));
+  }
+
+  ApplyResult result;
+  for (const Row& row : diff.data().rows()) {
+    ++result.diff_tuples;
+    const Row key = ProjectRow(row, diff_id_cols);
+    std::vector<Row> pre;
+    const size_t touched = target.DeleteWhereEquals(
+        match_cols, key, returning != nullptr ? &pre : nullptr);
+    result.rows_touched += static_cast<int64_t>(touched);
+    if (touched == 0) ++result.dummy_tuples;
+    if (returning != nullptr) {
+      for (Row& r : pre) returning->pre_images.Append(std::move(r));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,
+                      ReturningImages* returning) {
+  switch (diff.schema().type()) {
+    case DiffType::kUpdate:
+      return ApplyUpdate(diff, target, returning);
+    case DiffType::kInsert:
+      return ApplyInsert(diff, target, returning);
+    case DiffType::kDelete:
+      return ApplyDelete(diff, target, returning);
+  }
+  IDIVM_UNREACHABLE("bad DiffType");
+}
+
+}  // namespace idivm

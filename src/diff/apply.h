@@ -1,0 +1,63 @@
+// APPLY ∆ᵗ_V — the three DML statements of Section 2 executed against a
+// stored table (a materialized view or an intermediate cache):
+//
+//   APPLY ∆u: UPDATE V SET Ā″ = Ā″_post FROM ∆u WHERE V.Ī′ = ∆u.Ī′
+//             (or SET Ā″ = Ā″ + Ā″_post for additive diffs)
+//   APPLY ∆+: INSERT INTO V SELECT ... WHERE ROW(...) NOT IN (SELECT ... V)
+//   APPLY ∆−: DELETE FROM V WHERE ROW(Ī′) IN (SELECT Ī′ FROM ∆−)
+//
+// Costs follow the paper's model: one index lookup per diff tuple plus one
+// tuple access per target tuple actually touched (Table 2: |∆| lookups,
+// |D_V| = p·|∆| tuple accesses).
+//
+// The optional RETURNING captures implement PostgreSQL's UPDATE..RETURNING
+// optimization from Appendix A.2: applying a diff to the intermediate cache
+// simultaneously yields the cache-row-granularity changes needed by the
+// aggregate above, at no extra data accesses.
+
+#ifndef IDIVM_DIFF_APPLY_H_
+#define IDIVM_DIFF_APPLY_H_
+
+#include "src/diff/diff_instance.h"
+#include "src/storage/table.h"
+
+namespace idivm {
+
+struct ApplyResult {
+  // Diff tuples processed.
+  int64_t diff_tuples = 0;
+  // Target rows actually inserted / deleted / updated.
+  int64_t rows_touched = 0;
+  // Diff tuples that touched no row (overestimation, Section 1 / Ex. 4.8).
+  int64_t dummy_tuples = 0;
+
+  ApplyResult& operator+=(const ApplyResult& other) {
+    diff_tuples += other.diff_tuples;
+    rows_touched += other.rows_touched;
+    dummy_tuples += other.dummy_tuples;
+    return *this;
+  }
+};
+
+// RETURNING capture: full target rows before / after each touched row.
+// For updates both relations are filled (aligned row-by-row); inserts fill
+// only `post_images`; deletes only `pre_images`.
+struct ReturningImages {
+  Relation pre_images;
+  Relation post_images;
+
+  explicit ReturningImages(const Schema& target_schema)
+      : pre_images(target_schema), post_images(target_schema) {}
+};
+
+// Applies `diff` to `target`. Update/delete diffs locate target rows through
+// an index on the diff's Ī′ columns (created on demand). Insert diffs
+// enforce the paper's NOT-IN guard: a tuple already present in identical
+// form is skipped; a primary-key conflict with *different* attribute values
+// indicates a non-effective diff and aborts.
+ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,
+                      ReturningImages* returning = nullptr);
+
+}  // namespace idivm
+
+#endif  // IDIVM_DIFF_APPLY_H_

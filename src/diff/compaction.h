@@ -1,0 +1,36 @@
+// Net-effect computation over a modification history — Section 5:
+// "when extracting the modifications from the log, the algorithm combines
+// multiple modifications to the same tuple to a single modification, so as
+// to generate effective diffs."
+
+#ifndef IDIVM_DIFF_COMPACTION_H_
+#define IDIVM_DIFF_COMPACTION_H_
+
+#include <vector>
+
+#include "src/diff/diff_schema.h"
+#include "src/types/relation.h"
+#include "src/types/schema.h"
+
+namespace idivm {
+
+// One logged base-table modification. `pre`/`post` are full rows of the
+// modified table: inserts carry only `post`, deletes only `pre`, updates
+// both. Primary-key attributes are immutable (paper footnote 7).
+struct Modification {
+  DiffType kind = DiffType::kUpdate;
+  Row pre;
+  Row post;
+};
+
+// Collapses an ordered modification sequence into at most one net change per
+// primary key. No-op updates (pre == post) are dropped; insert-then-delete
+// cancels; delete-then-insert becomes an update (or nothing when identical).
+// Aborts on inconsistent histories (e.g. double insert of a live key).
+std::vector<Modification> ComputeNetChanges(
+    const Schema& schema, const std::vector<size_t>& key_indices,
+    const std::vector<Modification>& ordered);
+
+}  // namespace idivm
+
+#endif  // IDIVM_DIFF_COMPACTION_H_

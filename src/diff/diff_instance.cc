@@ -1,0 +1,40 @@
+#include "src/diff/diff_instance.h"
+
+#include <map>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+DiffInstance::DiffInstance(DiffSchema schema, Relation data)
+    : schema_(std::move(schema)), data_(std::move(data)) {
+  IDIVM_CHECK(data_.schema().ColumnNames() ==
+                  schema_.relation_schema().ColumnNames(),
+              StrCat("diff data schema ", data_.schema().ToString(),
+                     " does not match ", schema_.ToString()));
+}
+
+void DiffInstance::DeduplicateByIds() {
+  std::vector<size_t> id_cols;
+  for (size_t i = 0; i < schema_.id_columns().size(); ++i) id_cols.push_back(i);
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareRows(a, b) < 0;
+    }
+  };
+  std::map<Row, bool, RowLess> seen;
+  Relation deduped(data_.schema());
+  for (const Row& row : data_.rows()) {
+    Row key = ProjectRow(row, id_cols);
+    if (seen.emplace(std::move(key), true).second) deduped.Append(row);
+  }
+  data_ = std::move(deduped);
+}
+
+std::string DiffInstance::ToString() const {
+  return StrCat(schema_.ToString(), " [", data_.size(), " tuples]\n",
+                data_.ToString());
+}
+
+}  // namespace idivm

@@ -1,0 +1,42 @@
+// An i-diff instance: a DiffSchema plus rows under its materialized
+// relation schema.
+
+#ifndef IDIVM_DIFF_DIFF_INSTANCE_H_
+#define IDIVM_DIFF_DIFF_INSTANCE_H_
+
+#include <string>
+
+#include "src/diff/diff_schema.h"
+#include "src/types/relation.h"
+
+namespace idivm {
+
+class DiffInstance {
+ public:
+  explicit DiffInstance(DiffSchema schema)
+      : schema_(std::move(schema)), data_(schema_.relation_schema()) {}
+  DiffInstance(DiffSchema schema, Relation data);
+
+  const DiffSchema& schema() const { return schema_; }
+  const Relation& data() const { return data_; }
+  Relation& mutable_data() { return data_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // Appends a diff tuple (values ordered as relation_schema()).
+  void Append(Row row) { data_.Append(std::move(row)); }
+
+  // Keeps only the first diff tuple per Ī′ key (Ī′ must be a key of an
+  // i-diff — Section 2 "Remark").
+  void DeduplicateByIds();
+
+  std::string ToString() const;
+
+ private:
+  DiffSchema schema_;
+  Relation data_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_DIFF_DIFF_INSTANCE_H_

@@ -1,0 +1,31 @@
+// Effectiveness of i-diff instances — Section 2.
+//
+// A set of effective i-diffs yields the same result regardless of
+// application order. The three formal conditions (w.r.t. the target's
+// post-state V_post):
+//   insert: ∆+ ⊆ V_post
+//   delete: π_Ī′ ∆− ∩ π_Ī′ V_post = ∅
+//   update: π_{Ī′,Ā″post} ∆u ⋉_Ī′ V_post ⊆ π_{Ī′,Ā″} V_post
+//
+// Used by tests to validate every diff idIVM emits, and by documentation
+// examples.
+
+#ifndef IDIVM_DIFF_EFFECTIVENESS_H_
+#define IDIVM_DIFF_EFFECTIVENESS_H_
+
+#include <string>
+
+#include "src/diff/diff_instance.h"
+#include "src/types/relation.h"
+
+namespace idivm {
+
+// Returns true iff `diff` satisfies its type's effectiveness condition with
+// respect to `post_state` (the target's final contents). On failure, if
+// `why` is non-null it receives a human-readable explanation.
+bool IsEffective(const DiffInstance& diff, const Relation& post_state,
+                 std::string* why = nullptr);
+
+}  // namespace idivm
+
+#endif  // IDIVM_DIFF_EFFECTIVENESS_H_

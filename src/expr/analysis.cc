@@ -1,0 +1,147 @@
+#include "src/expr/analysis.h"
+
+#include "src/common/check.h"
+
+namespace idivm {
+
+namespace {
+
+void CollectColumns(const ExprPtr& expr, std::set<std::string>* out) {
+  if (expr->kind() == ExprKind::kColumn) {
+    out->insert(expr->column_name());
+    return;
+  }
+  for (const ExprPtr& child : expr->children()) CollectColumns(child, out);
+}
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kLogical &&
+      expr->logic_op() == LogicOp::kAnd) {
+    CollectConjuncts(expr->children()[0], out);
+    CollectConjuncts(expr->children()[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+}  // namespace
+
+std::set<std::string> ReferencedColumns(const ExprPtr& expr) {
+  std::set<std::string> out;
+  if (expr != nullptr) CollectColumns(expr, &out);
+  return out;
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& predicate) {
+  std::vector<ExprPtr> out;
+  if (predicate != nullptr) CollectConjuncts(predicate, &out);
+  return out;
+}
+
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return Lit(Value(int64_t{1}));
+  ExprPtr out = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = And(out, conjuncts[i]);
+  }
+  return out;
+}
+
+ExprPtr RenameColumns(const ExprPtr& expr,
+                      const std::map<std::string, std::string>& renames) {
+  IDIVM_CHECK(expr != nullptr, "renaming null expression");
+  switch (expr->kind()) {
+    case ExprKind::kColumn: {
+      const auto it = renames.find(expr->column_name());
+      if (it == renames.end()) return expr;
+      return Col(it->second);
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kArithmetic:
+      return Expr::Arith(expr->arith_op(),
+                         RenameColumns(expr->children()[0], renames),
+                         RenameColumns(expr->children()[1], renames));
+    case ExprKind::kComparison:
+      return Expr::Cmp(expr->cmp_op(),
+                       RenameColumns(expr->children()[0], renames),
+                       RenameColumns(expr->children()[1], renames));
+    case ExprKind::kLogical: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children().size());
+      for (const ExprPtr& child : expr->children()) {
+        children.push_back(RenameColumns(child, renames));
+      }
+      return Expr::Logic(expr->logic_op(), std::move(children));
+    }
+    case ExprKind::kFunction: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children().size());
+      for (const ExprPtr& child : expr->children()) {
+        children.push_back(RenameColumns(child, renames));
+      }
+      return Expr::Function(expr->function_name(), std::move(children));
+    }
+  }
+  IDIVM_UNREACHABLE("bad ExprKind");
+}
+
+std::vector<ExprPtr> ExtractEquiPairs(
+    const ExprPtr& predicate, const std::set<std::string>& left_columns,
+    const std::set<std::string>& right_columns,
+    std::vector<std::pair<std::string, std::string>>* equi_pairs) {
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+    bool captured = false;
+    if (conjunct->kind() == ExprKind::kComparison &&
+        conjunct->cmp_op() == CmpOp::kEq) {
+      const ExprPtr& a = conjunct->children()[0];
+      const ExprPtr& b = conjunct->children()[1];
+      if (a->kind() == ExprKind::kColumn && b->kind() == ExprKind::kColumn) {
+        const std::string& an = a->column_name();
+        const std::string& bn = b->column_name();
+        if (left_columns.count(an) > 0 && right_columns.count(bn) > 0) {
+          equi_pairs->emplace_back(an, bn);
+          captured = true;
+        } else if (left_columns.count(bn) > 0 && right_columns.count(an) > 0) {
+          equi_pairs->emplace_back(bn, an);
+          captured = true;
+        }
+      }
+    }
+    if (!captured) residual.push_back(conjunct);
+  }
+  return residual;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kColumn:
+      return a->column_name() == b->column_name();
+    case ExprKind::kLiteral:
+      return a->literal().Compare(b->literal()) == 0 &&
+             a->literal().type() == b->literal().type();
+    case ExprKind::kArithmetic:
+      if (a->arith_op() != b->arith_op()) return false;
+      break;
+    case ExprKind::kComparison:
+      if (a->cmp_op() != b->cmp_op()) return false;
+      break;
+    case ExprKind::kLogical:
+      if (a->logic_op() != b->logic_op()) return false;
+      break;
+    case ExprKind::kFunction:
+      if (a->function_name() != b->function_name()) return false;
+      break;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!ExprEquals(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace idivm

@@ -1,0 +1,47 @@
+// Static analysis and rewriting of scalar expressions. The idIVM compiler
+// uses these to (a) find the conditional attributes C_op of each operator
+// (Section 5's i-diff schema generation), (b) split Θ-join conditions into
+// conjuncts for hash-join planning, and (c) retarget conditions at the
+// __pre/__post columns of a diff (Tables 6, 10, 13: σφ(X̄pre), σφ(X̄post)).
+
+#ifndef IDIVM_EXPR_ANALYSIS_H_
+#define IDIVM_EXPR_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace idivm {
+
+// All column names referenced anywhere in `expr`.
+std::set<std::string> ReferencedColumns(const ExprPtr& expr);
+
+// Splits a predicate into its top-level AND conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& predicate);
+
+// AND-combines `conjuncts`; returns literal TRUE for an empty list.
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& conjuncts);
+
+// Rewrites every column reference through `renames` (names not present are
+// left unchanged). Returns a new tree; the input is not modified.
+ExprPtr RenameColumns(const ExprPtr& expr,
+                      const std::map<std::string, std::string>& renames);
+
+// Detects equality conjuncts of the form left_col = right_col where
+// left_col ∈ left_columns and right_col ∈ right_columns (either order).
+// Appends the pairs to `equi_pairs` and returns the remaining (residual)
+// conjuncts.
+std::vector<ExprPtr> ExtractEquiPairs(
+    const ExprPtr& predicate, const std::set<std::string>& left_columns,
+    const std::set<std::string>& right_columns,
+    std::vector<std::pair<std::string, std::string>>* equi_pairs);
+
+// Structural equality of expression trees.
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+}  // namespace idivm
+
+#endif  // IDIVM_EXPR_ANALYSIS_H_

@@ -1,0 +1,109 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/common/str_util.h"
+
+namespace idivm::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* keywords = new std::set<std::string>{
+      "SELECT", "FROM",  "WHERE", "GROUP",  "BY",    "AS",     "JOIN",
+      "NATURAL", "ON",   "AND",   "OR",     "NOT",   "UNION",  "ALL",
+      "ANTI",   "SEMI",  "HAVING", "SUM",  "COUNT",  "AVG",   "MIN",    "MAX",
+      "NULL",   "VIEW",  "CREATE", "IS",    "BETWEEN", "IN"};
+  return *keywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+}  // namespace
+
+bool Lex(const std::string& sql, std::vector<Token>* tokens,
+         std::string* error) {
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {  // line comment
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_' || sql[j] == '.')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens->push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens->push_back({TokenKind::kIdentifier, std::move(word), start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !dot))) {
+        dot |= sql[j] == '.';
+        ++j;
+      }
+      tokens->push_back({TokenKind::kNumber, sql.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && sql[j] != '\'') value += sql[j++];
+      if (j >= n) {
+        *error = StrCat("unterminated string literal at offset ", start);
+        return false;
+      }
+      tokens->push_back({TokenKind::kString, std::move(value), start});
+      i = j + 1;
+      continue;
+    }
+    // Multi-char operators.
+    if (i + 1 < n) {
+      const std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens->push_back({TokenKind::kSymbol, two, start});
+        i += 2;
+        continue;
+      }
+    }
+    const std::string one(1, c);
+    if (one == "(" || one == ")" || one == "," || one == "*" || one == "+" ||
+        one == "-" || one == "/" || one == "%" || one == "=" || one == "<" ||
+        one == ">" || one == ";") {
+      tokens->push_back({TokenKind::kSymbol, one, start});
+      ++i;
+      continue;
+    }
+    *error = StrCat("unexpected character '", one, "' at offset ", start);
+    return false;
+  }
+  tokens->push_back({TokenKind::kEnd, "", n});
+  return true;
+}
+
+}  // namespace idivm::sql

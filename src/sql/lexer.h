@@ -1,0 +1,32 @@
+// Tokenizer for the SQL-ish view-definition language (see parser.h).
+
+#ifndef IDIVM_SQL_LEXER_H_
+#define IDIVM_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace idivm::sql {
+
+enum class TokenKind {
+  kIdentifier,  // possibly qualified: a.b (lexed as one token)
+  kKeyword,     // upper-cased reserved word
+  kNumber,
+  kString,      // '...' literal, quotes stripped
+  kSymbol,      // ( ) , * + - / % = < > <= >= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword text upper-cased; others verbatim
+  size_t position = 0;  // byte offset, for error messages
+};
+
+// Tokenizes `sql`. On failure returns false and sets `error`.
+bool Lex(const std::string& sql, std::vector<Token>* tokens,
+         std::string* error);
+
+}  // namespace idivm::sql
+
+#endif  // IDIVM_SQL_LEXER_H_

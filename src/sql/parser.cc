@@ -1,0 +1,589 @@
+#include "src/sql/parser.h"
+
+#include <optional>
+#include <set>
+
+#include "src/common/str_util.h"
+#include "src/expr/analysis.h"
+#include "src/sql/lexer.h"
+
+namespace idivm::sql {
+
+namespace {
+
+// Rewrites "alias.column" to the engine's "alias_column" convention.
+std::string TranslateQualified(const std::string& name) {
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos) return name;
+  return name.substr(0, dot) + "_" + name.substr(dot + 1);
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Database& db)
+      : tokens_(std::move(tokens)), db_(db) {}
+
+  ParseResult Parse() {
+    ParseResult result;
+    PlanPtr plan = ParseSelect(&result.error);
+    if (plan == nullptr) return result;
+    while (MatchKeyword("UNION")) {
+      if (!ExpectKeyword("ALL", &result.error)) return result;
+      PlanPtr right = ParseSelect(&result.error);
+      if (right == nullptr) return result;
+      const Schema left_schema = InferSchema(plan, db_);
+      const Schema right_schema = InferSchema(right, db_);
+      if (left_schema.ColumnNames() != right_schema.ColumnNames()) {
+        result.error =
+            StrCat("UNION ALL branches have different columns: ",
+                   left_schema.ToString(), " vs ", right_schema.ToString());
+        return result;
+      }
+      plan = PlanNode::UnionAll(std::move(plan), std::move(right), "branch");
+    }
+    MatchSymbol(";");
+    if (!AtEnd()) {
+      result.error = StrCat("unexpected trailing input at offset ",
+                            Peek().position, ": '", Peek().text, "'");
+      return result;
+    }
+    result.plan = std::move(plan);
+    return result;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ExpectKeyword(const std::string& kw, std::string* error) {
+    if (MatchKeyword(kw)) return true;
+    *error = StrCat("expected ", kw, " at offset ", Peek().position,
+                    ", found '", Peek().text, "'");
+    return false;
+  }
+  bool ExpectSymbol(const std::string& sym, std::string* error) {
+    if (MatchSymbol(sym)) return true;
+    *error = StrCat("expected '", sym, "' at offset ", Peek().position,
+                    ", found '", Peek().text, "'");
+    return false;
+  }
+
+  static bool IsAggKeyword(const Token& token) {
+    return token.kind == TokenKind::kKeyword &&
+           (token.text == "SUM" || token.text == "COUNT" ||
+            token.text == "AVG" || token.text == "MIN" ||
+            token.text == "MAX");
+  }
+
+  // ---- grammar ----
+
+  struct SelectItem {
+    // Exactly one of expr / agg set.
+    ExprPtr expr;
+    std::optional<AggSpec> agg;
+    std::string name;
+  };
+
+  PlanPtr ParseSelect(std::string* error) {
+    if (!ExpectKeyword("SELECT", error)) return nullptr;
+    bool star = false;
+    std::vector<SelectItem> items;
+    if (MatchSymbol("*")) {
+      star = true;
+    } else {
+      do {
+        SelectItem item;
+        if (!ParseSelectItem(&item, error)) return nullptr;
+        items.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+
+    if (!ExpectKeyword("FROM", error)) return nullptr;
+    PlanPtr plan = ParseTableRef(error);
+    if (plan == nullptr) return nullptr;
+
+    // Joins.
+    while (true) {
+      if (MatchKeyword("NATURAL")) {
+        if (!ExpectKeyword("JOIN", error)) return nullptr;
+        PlanPtr right = ParseTableRef(error);
+        if (right == nullptr) return nullptr;
+        plan = NaturalJoin(std::move(plan), std::move(right), db_);
+        continue;
+      }
+      if (Peek().kind == TokenKind::kKeyword &&
+          (Peek().text == "JOIN" || Peek().text == "ANTI" ||
+           Peek().text == "SEMI")) {
+        const bool anti = MatchKeyword("ANTI");
+        const bool semi = !anti && MatchKeyword("SEMI");
+        if (!ExpectKeyword("JOIN", error)) return nullptr;
+        PlanPtr right = ParseTableRef(error);
+        if (right == nullptr) return nullptr;
+        if (!ExpectKeyword("ON", error)) return nullptr;
+        ExprPtr condition = ParseExpr(error);
+        if (condition == nullptr) return nullptr;
+        if (anti) {
+          plan = PlanNode::AntiSemiJoin(std::move(plan), std::move(right),
+                                        std::move(condition));
+        } else if (semi) {
+          plan = PlanNode::SemiJoin(std::move(plan), std::move(right),
+                                    std::move(condition));
+        } else {
+          plan = PlanNode::Join(std::move(plan), std::move(right),
+                                std::move(condition));
+        }
+        continue;
+      }
+      break;
+    }
+
+    if (MatchKeyword("WHERE")) {
+      ExprPtr predicate = ParseExpr(error);
+      if (predicate == nullptr) return nullptr;
+      if (!ValidateColumns(predicate, plan, "WHERE", error)) return nullptr;
+      plan = PlanNode::Select(std::move(plan), std::move(predicate));
+    }
+
+    std::vector<std::string> group_by;
+    bool has_group = false;
+    if (MatchKeyword("GROUP")) {
+      has_group = true;
+      if (!ExpectKeyword("BY", error)) return nullptr;
+      do {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          *error = StrCat("expected column name in GROUP BY at offset ",
+                          Peek().position);
+          return nullptr;
+        }
+        group_by.push_back(TranslateQualified(Advance().text));
+      } while (MatchSymbol(","));
+    }
+
+    bool has_agg = false;
+    for (const SelectItem& item : items) {
+      has_agg |= item.agg.has_value();
+    }
+
+    if (!has_agg && !has_group) {
+      if (star) return plan;
+      std::vector<ProjectItem> project;
+      for (SelectItem& item : items) {
+        if (!ValidateColumns(item.expr, plan, "SELECT", error)) {
+          return nullptr;
+        }
+        project.push_back({item.expr, item.name});
+      }
+      return PlanNode::Project(std::move(plan), std::move(project));
+    }
+
+    // Aggregate query.
+    if (star) {
+      *error = "SELECT * cannot be combined with aggregation";
+      return nullptr;
+    }
+    if (!has_group) {
+      *error = "aggregates require GROUP BY (ID-based views need a key)";
+      return nullptr;
+    }
+    // GROUP BY may reference a SELECT alias of a plain column (standard
+    // dialect convenience, used when grouping a self-join by a renamed
+    // side). Realize such aliases by renaming the columns below the γ.
+    {
+      std::map<std::string, std::string> renames;  // child col -> alias
+      const Schema child = InferSchema(plan, db_);
+      for (std::string& g : group_by) {
+        if (child.HasColumn(g)) continue;
+        for (const SelectItem& item : items) {
+          if (item.name == g && item.expr != nullptr &&
+              item.expr->kind() == ExprKind::kColumn &&
+              child.HasColumn(item.expr->column_name())) {
+            renames[item.expr->column_name()] = g;
+            break;
+          }
+        }
+      }
+      if (!renames.empty()) {
+        std::vector<ProjectItem> rename_items;
+        for (const ColumnDef& col : child.columns()) {
+          const auto it = renames.find(col.name);
+          rename_items.push_back(
+              {Col(col.name), it == renames.end() ? col.name : it->second});
+        }
+        plan = PlanNode::Project(std::move(plan), std::move(rename_items));
+        // Retarget select items and aggregate arguments at the new names.
+        for (SelectItem& item : items) {
+          if (item.expr != nullptr) {
+            item.expr = RenameColumns(item.expr, renames);
+          }
+          if (item.agg.has_value() && item.agg->arg != nullptr) {
+            item.agg->arg = RenameColumns(item.agg->arg, renames);
+          }
+        }
+      }
+    }
+    std::vector<AggSpec> aggs;
+    std::vector<std::string> select_order;
+    const std::set<std::string> groups(group_by.begin(), group_by.end());
+    for (SelectItem& item : items) {
+      if (item.agg.has_value()) {
+        if (item.agg->arg != nullptr &&
+            !ValidateColumns(item.agg->arg, plan, "aggregate", error)) {
+          return nullptr;
+        }
+        item.agg->name = item.name;
+        aggs.push_back(*item.agg);
+        select_order.push_back(item.name);
+        continue;
+      }
+      // Non-aggregate item: must be a grouped column.
+      if (item.expr->kind() != ExprKind::kColumn ||
+          groups.count(item.expr->column_name()) == 0) {
+        *error = StrCat("non-aggregate SELECT item '", item.name,
+                        "' must be a GROUP BY column");
+        return nullptr;
+      }
+      select_order.push_back(item.expr->column_name());
+    }
+    for (const std::string& g : group_by) {
+      const Schema child = InferSchema(plan, db_);
+      if (!child.HasColumn(g)) {
+        *error = StrCat("unknown GROUP BY column '", g, "'");
+        return nullptr;
+      }
+    }
+    plan = PlanNode::Aggregate(std::move(plan), group_by, std::move(aggs));
+
+    if (MatchKeyword("HAVING")) {
+      ExprPtr predicate = ParseExpr(error);
+      if (predicate == nullptr) return nullptr;
+      if (!ValidateColumns(predicate, plan, "HAVING", error)) return nullptr;
+      plan = PlanNode::Select(std::move(plan), std::move(predicate));
+    }
+    return plan;
+  }
+
+  bool ParseSelectItem(SelectItem* item, std::string* error) {
+    if (IsAggKeyword(Peek())) {
+      const std::string func = Advance().text;
+      if (!ExpectSymbol("(", error)) return false;
+      AggSpec spec;
+      std::string default_name = func;
+      if (func == "SUM") spec.func = AggFunc::kSum;
+      if (func == "COUNT") spec.func = AggFunc::kCount;
+      if (func == "AVG") spec.func = AggFunc::kAvg;
+      if (func == "MIN") spec.func = AggFunc::kMin;
+      if (func == "MAX") spec.func = AggFunc::kMax;
+      if (MatchSymbol("*")) {
+        if (spec.func != AggFunc::kCount) {
+          *error = StrCat(func, "(*) is not valid SQL");
+          return false;
+        }
+        spec.arg = nullptr;
+      } else {
+        spec.arg = ParseExpr(error);
+        if (spec.arg == nullptr) return false;
+        if (spec.arg->kind() == ExprKind::kColumn) {
+          default_name += "_" + spec.arg->column_name();
+        }
+      }
+      if (!ExpectSymbol(")", error)) return false;
+      item->agg = std::move(spec);
+      item->name = default_name;
+      for (char& c : item->name) c = static_cast<char>(std::tolower(c));
+    } else {
+      item->expr = ParseExpr(error);
+      if (item->expr == nullptr) return false;
+      if (item->expr->kind() == ExprKind::kColumn) {
+        item->name = item->expr->column_name();
+      }
+    }
+    if (MatchKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        *error = StrCat("expected alias after AS at offset ",
+                        Peek().position);
+        return false;
+      }
+      item->name = Advance().text;
+    }
+    if (item->name.empty()) {
+      *error = "computed SELECT items need an AS alias";
+      return false;
+    }
+    return true;
+  }
+
+  PlanPtr ParseTableRef(std::string* error) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      *error = StrCat("expected table name at offset ", Peek().position,
+                      ", found '", Peek().text, "'");
+      return nullptr;
+    }
+    const std::string table = Advance().text;
+    if (!db_.HasTable(table)) {
+      *error = StrCat("unknown table '", table, "'");
+      return nullptr;
+    }
+    std::string alias;
+    if (MatchKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        *error = StrCat("expected alias at offset ", Peek().position);
+        return nullptr;
+      }
+      alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      alias = Advance().text;
+    }
+    if (alias.empty()) return PlanNode::Scan(table);
+    // Alias: expose columns as "<alias>_<column>".
+    std::vector<ProjectItem> items;
+    for (const ColumnDef& col : db_.GetTable(table).schema().columns()) {
+      items.push_back({Col(col.name), StrCat(alias, "_", col.name)});
+    }
+    return PlanNode::Project(PlanNode::Scan(table), std::move(items));
+  }
+
+  bool ValidateColumns(const ExprPtr& expr, const PlanPtr& plan,
+                       const std::string& where, std::string* error) {
+    const Schema schema = InferSchema(plan, db_);
+    for (const std::string& col : ReferencedColumns(expr)) {
+      if (!schema.HasColumn(col)) {
+        *error = StrCat("unknown column '", col, "' in ", where,
+                        " (available: ", Join(schema.ColumnNames(), ", "),
+                        ")");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- expressions ----
+  ExprPtr ParseExpr(std::string* error) { return ParseOr(error); }
+
+  ExprPtr ParseOr(std::string* error) {
+    ExprPtr left = ParseAnd(error);
+    if (left == nullptr) return nullptr;
+    while (MatchKeyword("OR")) {
+      ExprPtr right = ParseAnd(error);
+      if (right == nullptr) return nullptr;
+      left = Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseAnd(std::string* error) {
+    ExprPtr left = ParseNot(error);
+    if (left == nullptr) return nullptr;
+    while (MatchKeyword("AND")) {
+      ExprPtr right = ParseNot(error);
+      if (right == nullptr) return nullptr;
+      left = And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseNot(std::string* error) {
+    if (MatchKeyword("NOT")) {
+      ExprPtr inner = ParseNot(error);
+      if (inner == nullptr) return nullptr;
+      return Not(std::move(inner));
+    }
+    return ParseComparison(error);
+  }
+
+  ExprPtr ParseComparison(std::string* error) {
+    ExprPtr left = ParseAdditive(error);
+    if (left == nullptr) return nullptr;
+    // BETWEEN a AND b desugars to (left >= a AND left <= b).
+    if (MatchKeyword("BETWEEN")) {
+      ExprPtr lo = ParseAdditive(error);
+      if (lo == nullptr) return nullptr;
+      if (!ExpectKeyword("AND", error)) return nullptr;
+      ExprPtr hi = ParseAdditive(error);
+      if (hi == nullptr) return nullptr;
+      return And(Ge(left, std::move(lo)), Le(left, std::move(hi)));
+    }
+    // IN (v1, v2, ...) desugars to an OR of equalities.
+    if (MatchKeyword("IN")) {
+      if (!ExpectSymbol("(", error)) return nullptr;
+      ExprPtr disjunction;
+      do {
+        ExprPtr v = ParseAdditive(error);
+        if (v == nullptr) return nullptr;
+        ExprPtr eq = Eq(left, std::move(v));
+        disjunction = disjunction == nullptr
+                          ? std::move(eq)
+                          : Or(std::move(disjunction), std::move(eq));
+      } while (MatchSymbol(","));
+      if (!ExpectSymbol(")", error)) return nullptr;
+      return disjunction;
+    }
+    if (Peek().kind == TokenKind::kSymbol) {
+      const std::string op = Peek().text;
+      CmpOp cmp;
+      if (op == "=") {
+        cmp = CmpOp::kEq;
+      } else if (op == "<>" || op == "!=") {
+        cmp = CmpOp::kNe;
+      } else if (op == "<") {
+        cmp = CmpOp::kLt;
+      } else if (op == "<=") {
+        cmp = CmpOp::kLe;
+      } else if (op == ">") {
+        cmp = CmpOp::kGt;
+      } else if (op == ">=") {
+        cmp = CmpOp::kGe;
+      } else {
+        return left;
+      }
+      ++pos_;
+      ExprPtr right = ParseAdditive(error);
+      if (right == nullptr) return nullptr;
+      return Expr::Cmp(cmp, std::move(left), std::move(right));
+    }
+    // IS NULL / IS NOT NULL sugar.
+    if (MatchKeyword("IS")) {
+      const bool negated = MatchKeyword("NOT");
+      if (!ExpectKeyword("NULL", error)) return nullptr;
+      ExprPtr check = Expr::Function("isnull", {std::move(left)});
+      return negated ? Not(std::move(check)) : check;
+    }
+    return left;
+  }
+
+  ExprPtr ParseAdditive(std::string* error) {
+    ExprPtr left = ParseMultiplicative(error);
+    if (left == nullptr) return nullptr;
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      const bool add = Advance().text == "+";
+      ExprPtr right = ParseMultiplicative(error);
+      if (right == nullptr) return nullptr;
+      left = add ? Add(std::move(left), std::move(right))
+                 : Sub(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseMultiplicative(std::string* error) {
+    ExprPtr left = ParsePrimary(error);
+    if (left == nullptr) return nullptr;
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/" ||
+            Peek().text == "%")) {
+      const std::string op = Advance().text;
+      ExprPtr right = ParsePrimary(error);
+      if (right == nullptr) return nullptr;
+      if (op == "*") {
+        left = Mul(std::move(left), std::move(right));
+      } else if (op == "/") {
+        left = Div(std::move(left), std::move(right));
+      } else {
+        left = Mod(std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  ExprPtr ParsePrimary(std::string* error) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        Advance();
+        if (token.text.find('.') != std::string::npos) {
+          return Lit(Value(std::stod(token.text)));
+        }
+        return Lit(Value(static_cast<int64_t>(std::stoll(token.text))));
+      }
+      case TokenKind::kString:
+        Advance();
+        return Lit(Value(token.text));
+      case TokenKind::kKeyword:
+        if (token.text == "NULL") {
+          Advance();
+          return Lit(Value::Null());
+        }
+        if (IsAggKeyword(token)) {
+          *error = StrCat("aggregate functions are only allowed as ",
+                          "top-level SELECT items (offset ", token.position,
+                          ")");
+          return nullptr;
+        }
+        *error = StrCat("unexpected keyword '", token.text, "' at offset ",
+                        token.position);
+        return nullptr;
+      case TokenKind::kIdentifier: {
+        Advance();
+        if (MatchSymbol("(")) {
+          // Scalar function call.
+          std::vector<ExprPtr> args;
+          if (!MatchSymbol(")")) {
+            do {
+              ExprPtr arg = ParseExpr(error);
+              if (arg == nullptr) return nullptr;
+              args.push_back(std::move(arg));
+            } while (MatchSymbol(","));
+            if (!ExpectSymbol(")", error)) return nullptr;
+          }
+          std::string fn = token.text;
+          for (char& c : fn) c = static_cast<char>(std::tolower(c));
+          return Expr::Function(std::move(fn), std::move(args));
+        }
+        return Col(TranslateQualified(token.text));
+      }
+      case TokenKind::kSymbol:
+        if (token.text == "(") {
+          Advance();
+          ExprPtr inner = ParseExpr(error);
+          if (inner == nullptr) return nullptr;
+          if (!ExpectSymbol(")", error)) return nullptr;
+          return inner;
+        }
+        if (token.text == "-") {
+          Advance();
+          ExprPtr inner = ParsePrimary(error);
+          if (inner == nullptr) return nullptr;
+          return Sub(Lit(Value(int64_t{0})), std::move(inner));
+        }
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+    *error = StrCat("unexpected token '", token.text, "' at offset ",
+                    token.position);
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  const Database& db_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParseView(const std::string& sql, const Database& db) {
+  ParseResult result;
+  std::vector<Token> tokens;
+  if (!Lex(sql, &tokens, &result.error)) return result;
+  Parser parser(std::move(tokens), db);
+  return parser.Parse();
+}
+
+}  // namespace idivm::sql

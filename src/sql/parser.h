@@ -1,0 +1,54 @@
+// A SQL-ish front end for Q_SPJADU view definitions — the language the
+// paper writes its views in (Figs. 1b, 5b). Produces algebra plans for
+// CompileView.
+//
+// Supported grammar (a deliberate subset; ORDER BY / LIMIT are outside
+// Q_SPJADU and were removed from the paper's own workload too):
+//
+//   query      := select { UNION ALL select }
+//   select     := SELECT items FROM table_ref { join } [WHERE expr]
+//                 [GROUP BY column_list [HAVING expr]]
+//   items      := item { ',' item } ;  item := expr [AS name] | agg
+//   agg        := (SUM|COUNT|AVG|MIN|MAX) '(' (expr | '*') ')' [AS name]
+//   table_ref  := table_name [AS? alias]
+//   join       := NATURAL JOIN table_ref
+//               | JOIN table_ref ON expr
+//               | ANTI JOIN table_ref ON expr        -- antisemijoin ⋉̄
+//   expr       := the usual precedence: OR < AND < NOT < comparison <
+//                 additive < multiplicative < primary
+//   primary    := number | 'string' | NULL | column | func '(' args ')' |
+//                 '(' expr ')'
+//
+// Aliased tables expose their columns as "<alias>_<column>"; qualified
+// references "alias.column" are rewritten accordingly (this is how the
+// engine represents self-joins — see BSMA's Q10/Q11). Columns of unaliased
+// tables keep their plain names.
+//
+// An aggregate SELECT (any aggregate function present or GROUP BY given)
+// maps non-aggregate items to GROUP BY columns (which must match) and
+// aggregates to γ specs; HAVING becomes a selection above the γ.
+
+#ifndef IDIVM_SQL_PARSER_H_
+#define IDIVM_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/algebra/plan.h"
+#include "src/storage/database.h"
+
+namespace idivm::sql {
+
+struct ParseResult {
+  PlanPtr plan;        // null on error
+  std::string error;   // human-readable message on failure
+
+  bool ok() const { return plan != nullptr; }
+};
+
+// Parses a view definition query against the catalog `db` (table/column
+// names are validated during parsing).
+ParseResult ParseView(const std::string& sql, const Database& db);
+
+}  // namespace idivm::sql
+
+#endif  // IDIVM_SQL_PARSER_H_

@@ -1,0 +1,26 @@
+#include "src/storage/access_stats.h"
+
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+AccessStats& AccessStats::operator+=(const AccessStats& other) {
+  index_lookups += other.index_lookups;
+  tuple_reads += other.tuple_reads;
+  tuple_writes += other.tuple_writes;
+  return *this;
+}
+
+AccessStats operator-(AccessStats a, const AccessStats& b) {
+  a.index_lookups -= b.index_lookups;
+  a.tuple_reads -= b.tuple_reads;
+  a.tuple_writes -= b.tuple_writes;
+  return a;
+}
+
+std::string AccessStats::ToString() const {
+  return StrCat("{lookups=", index_lookups, ", reads=", tuple_reads,
+                ", writes=", tuple_writes, ", total=", TotalAccesses(), "}");
+}
+
+}  // namespace idivm

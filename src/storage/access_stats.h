@@ -1,0 +1,38 @@
+// The Section 6 cost model: idIVM's formal analysis measures IVM cost as the
+// combined number of tuple accesses and index lookups incurred by a
+// ∆/D-script. Every base-table / view / cache touch in this engine is charged
+// to an AccessStats instance so benchmarks can report exactly the quantities
+// of Tables 2 and 3 of the paper alongside wall-clock time.
+
+#ifndef IDIVM_STORAGE_ACCESS_STATS_H_
+#define IDIVM_STORAGE_ACCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace idivm {
+
+struct AccessStats {
+  // One per index probe (hash or B-tree descent in the paper's model).
+  int64_t index_lookups = 0;
+  // One per tuple read from a stored relation (base table, view or cache).
+  int64_t tuple_reads = 0;
+  // One per tuple inserted/deleted/updated in a stored relation.
+  int64_t tuple_writes = 0;
+
+  // The paper's combined cost: data accesses = lookups + reads + writes.
+  int64_t TotalAccesses() const {
+    return index_lookups + tuple_reads + tuple_writes;
+  }
+
+  AccessStats& operator+=(const AccessStats& other);
+  friend AccessStats operator-(AccessStats a, const AccessStats& b);
+
+  void Reset() { *this = AccessStats(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_STORAGE_ACCESS_STATS_H_

@@ -1,0 +1,44 @@
+#include "src/storage/database.h"
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+Table& Database::CreateTable(const std::string& name, Schema schema,
+                             std::vector<std::string> key_columns) {
+  IDIVM_CHECK(tables_.find(name) == tables_.end(),
+              StrCat("table already exists: ", name));
+  auto table = std::make_unique<Table>(name, std::move(schema),
+                                       std::move(key_columns), &stats_);
+  Table& ref = *table;
+  tables_[name] = std::move(table);
+  return ref;
+}
+
+void Database::DropTable(const std::string& name) { tables_.erase(name); }
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+Table& Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  IDIVM_CHECK(it != tables_.end(), StrCat("no such table: ", name));
+  return *it->second;
+}
+
+const Table& Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  IDIVM_CHECK(it != tables_.end(), StrCat("no such table: ", name));
+  return *it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace idivm

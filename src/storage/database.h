@@ -1,0 +1,49 @@
+// The catalog: a named collection of tables sharing one AccessStats sink.
+// Base tables, materialized views and idIVM's intermediate caches all live
+// here, so one counter captures the full cost of a maintenance round.
+
+#ifndef IDIVM_STORAGE_DATABASE_H_
+#define IDIVM_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/access_stats.h"
+#include "src/storage/table.h"
+
+namespace idivm {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Non-copyable (tables hold a pointer to stats_).
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table; checks the name is free.
+  Table& CreateTable(const std::string& name, Schema schema,
+                     std::vector<std::string> key_columns);
+
+  // Drops a table if it exists.
+  void DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  Table& GetTable(const std::string& name);
+  const Table& GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  AccessStats& stats() { return stats_; }
+  const AccessStats& stats() const { return stats_; }
+
+ private:
+  AccessStats stats_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_STORAGE_DATABASE_H_

@@ -1,0 +1,60 @@
+// In-memory relations (bags of rows under a schema). Relations are the
+// currency of the algebra evaluator and of diff instances; persistent,
+// access-counted storage lives in src/storage.
+
+#ifndef IDIVM_TYPES_RELATION_H_
+#define IDIVM_TYPES_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace idivm {
+
+using Row = std::vector<Value>;
+
+// Hash of the values of `row` restricted to `cols` (consistent with
+// Value::Compare equality).
+size_t HashRowKey(const Row& row, const std::vector<size_t>& cols);
+
+// Projects `row` onto `cols`.
+Row ProjectRow(const Row& row, const std::vector<size_t>& cols);
+
+// Lexicographic comparison of full rows under Value::Compare.
+int CompareRows(const Row& a, const Row& b);
+
+// A bag of rows under a schema.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Row> rows);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  // Appends a row; checks arity.
+  void Append(Row row);
+
+  // Rows sorted lexicographically (for stable output and comparison).
+  Relation Sorted() const;
+
+  // Multiset equality (schema column names/types and row bags must match).
+  bool BagEquals(const Relation& other) const;
+
+  // Pretty-printed table (for examples and debugging).
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_TYPES_RELATION_H_

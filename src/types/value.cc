@@ -1,0 +1,162 @@
+#include "src/types/value.h"
+
+#include <functional>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  IDIVM_UNREACHABLE("bad DataType");
+}
+
+DataType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    case 3:
+      return DataType::kString;
+  }
+  IDIVM_UNREACHABLE("bad variant index");
+}
+
+int64_t Value::AsInt64() const {
+  IDIVM_CHECK(std::holds_alternative<int64_t>(rep_),
+              StrCat("AsInt64 on ", DataTypeName(type())));
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  IDIVM_CHECK(std::holds_alternative<double>(rep_),
+              StrCat("AsDouble on ", DataTypeName(type())));
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  IDIVM_CHECK(std::holds_alternative<std::string>(rep_),
+              StrCat("AsString on ", DataTypeName(type())));
+  return std::get<std::string>(rep_);
+}
+
+double Value::NumericAsDouble() const {
+  if (std::holds_alternative<int64_t>(rep_)) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  IDIVM_CHECK(std::holds_alternative<double>(rep_),
+              StrCat("NumericAsDouble on ", DataTypeName(type())));
+  return std::get<double>(rep_);
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    // Cross-type numeric equality (1 = 1.0), ignoring the total order's
+    // int-before-double tiebreak.
+    if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+      return AsInt64() == other.AsInt64();
+    }
+    return NumericAsDouble() == other.NumericAsDouble();
+  }
+  return Compare(other) == 0;
+}
+
+namespace {
+
+// Order rank of a type class: null < numeric < string.
+int TypeClass(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 2;
+  }
+  IDIVM_UNREACHABLE("bad DataType");
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int ca = TypeClass(type());
+  const int cb = TypeClass(other.type());
+  if (ca != cb) return ca < cb ? -1 : 1;
+  switch (ca) {
+    case 0:
+      return 0;  // NULL == NULL under the total order
+    case 1: {
+      // Compare int64/int64 exactly; mixed or double comparisons go through
+      // double (fine at our magnitudes).
+      if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+        const int64_t a = AsInt64();
+        const int64_t b = other.AsInt64();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = NumericAsDouble();
+      const double b = other.NumericAsDouble();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      // Equal numeric value: order ints before doubles so the order is total.
+      const int ta = type() == DataType::kInt64 ? 0 : 1;
+      const int tb = other.type() == DataType::kInt64 ? 0 : 1;
+      return ta - tb;
+    }
+    case 2:
+      return AsString().compare(other.AsString());
+  }
+  IDIVM_UNREACHABLE("bad type class");
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case DataType::kDouble: {
+      const double d = AsDouble();
+      // Hash doubles that hold integral values like the equal int64, so the
+      // hash is consistent with Compare-equality across numeric types.
+      const int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>{}(as_int);
+      }
+      return std::hash<double>{}(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  IDIVM_UNREACHABLE("bad DataType");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return StrCat(AsInt64());
+    case DataType::kDouble:
+      return FormatDouble(AsDouble());
+    case DataType::kString:
+      return AsString();
+  }
+  IDIVM_UNREACHABLE("bad DataType");
+}
+
+}  // namespace idivm

@@ -1,0 +1,84 @@
+// The scalar value type flowing through the engine.
+//
+// idIVM's Q_SPJADU language needs integers (keys, counts), doubles
+// (prices, aggregates) and strings (categories). NULL exists so that
+// aggregates over empty groups and outer diff semantics are expressible.
+
+#ifndef IDIVM_TYPES_VALUE_H_
+#define IDIVM_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace idivm {
+
+enum class DataType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+// Returns a human-readable name ("int64", "double", ...).
+const char* DataTypeName(DataType type);
+
+// An immutable scalar. Cheap to copy for ints/doubles; strings use
+// std::string's copy.
+class Value {
+ public:
+  // Null value.
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+
+  // These are intentionally implicit: literals like Value v = 42 keep
+  // workload/test code readable, and no lossy conversion can occur.
+  Value(int64_t v) : rep_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  // Accessors; each checks the stored type.
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Numeric view: int64 or double as double. Checks the value is numeric.
+  double NumericAsDouble() const;
+  bool is_numeric() const {
+    return type() == DataType::kInt64 || type() == DataType::kDouble;
+  }
+
+  // SQL-ish equality: NULL equals nothing (including NULL) under
+  // SqlEquals; int64 and double compare numerically.
+  bool SqlEquals(const Value& other) const;
+
+  // Total order used for sorting, grouping and hashing: NULL sorts first,
+  // then numerics (cross-type by numeric value, ints before equal doubles),
+  // then strings. Under this order NULL == NULL, so grouping puts all NULLs
+  // in one group (SQL GROUP BY semantics).
+  int Compare(const Value& other) const;
+
+  // Hash consistent with Compare-equality.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_TYPES_VALUE_H_

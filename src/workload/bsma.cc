@@ -1,0 +1,350 @@
+#include "src/workload/bsma.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+
+namespace {
+
+// Scan of `table` with every column renamed to <prefix><name> (the alias
+// mechanism for self-joins: Join requires globally unique column names).
+PlanPtr AliasScan(const Database& db, const std::string& table,
+                  const std::string& prefix) {
+  const Schema& schema = db.GetTable(table).schema();
+  std::vector<ProjectItem> items;
+  for (const ColumnDef& col : schema.columns()) {
+    items.push_back({Col(col.name), StrCat(prefix, col.name)});
+  }
+  return PlanNode::Project(PlanNode::Scan(table), std::move(items));
+}
+
+}  // namespace
+
+BsmaWorkload::BsmaWorkload(Database* db, const BsmaConfig& config)
+    : db_(db), config_(config), rng_(config.seed) {
+  const int64_t tweets = num_tweets();
+
+  Table& user = db_->CreateTable(
+      "user",
+      Schema({{"uid", DataType::kInt64},
+              {"city", DataType::kInt64},
+              {"tweetsnum", DataType::kInt64},
+              {"favornum", DataType::kInt64}}),
+      {"uid"});
+  Relation user_data(user.schema());
+  for (int64_t uid = 0; uid < config_.users; ++uid) {
+    user_data.Append({Value(uid),
+                      Value(rng_.UniformInt(0, config_.num_cities - 1)),
+                      Value(rng_.UniformInt(0, 2000)),
+                      Value(rng_.UniformInt(0, 5000))});
+  }
+  user.BulkLoadUncounted(user_data);
+
+  Table& friendlist = db_->CreateTable(
+      "friendlist",
+      Schema({{"uid", DataType::kInt64}, {"fid", DataType::kInt64}}),
+      {"uid", "fid"});
+  Relation friend_data(friendlist.schema());
+  for (int64_t uid = 0; uid < config_.users; ++uid) {
+    const std::vector<size_t> picks = rng_.SampleIndices(
+        static_cast<size_t>(config_.users),
+        static_cast<size_t>(
+            std::min(config_.friends_per_user, config_.users)));
+    for (size_t pick : picks) {
+      friend_data.Append({Value(uid), Value(static_cast<int64_t>(pick))});
+    }
+  }
+  friendlist.BulkLoadUncounted(friend_data);
+
+  Table& microblog = db_->CreateTable(
+      "microblog",
+      Schema({{"mid", DataType::kInt64},
+              {"uid", DataType::kInt64},
+              {"ts", DataType::kInt64},
+              {"topic", DataType::kInt64}}),
+      {"mid"});
+  Relation tweet_data(microblog.schema());
+  for (int64_t mid = 0; mid < tweets; ++mid) {
+    tweet_data.Append({Value(mid),
+                       Value(rng_.UniformInt(0, config_.users - 1)),
+                       Value(rng_.UniformInt(0, 999999)),
+                       Value(rng_.UniformInt(0, config_.num_topics - 1))});
+  }
+  microblog.BulkLoadUncounted(tweet_data);
+
+  // 10% of tweets retweeted by 2 users each.
+  Table& retweets = db_->CreateTable(
+      "retweets",
+      Schema({{"mid", DataType::kInt64},
+              {"uid", DataType::kInt64},
+              {"rts", DataType::kInt64}}),
+      {"mid", "uid"});
+  Relation retweet_data(retweets.schema());
+  for (int64_t mid = 0; mid < tweets; ++mid) {
+    if (mid % 10 != 0) continue;  // 10% of tweets
+    const int64_t u1 = rng_.UniformInt(0, config_.users - 1);
+    int64_t u2 = rng_.UniformInt(0, config_.users - 1);
+    if (u2 == u1) u2 = (u2 + 1) % config_.users;
+    retweet_data.Append({Value(mid), Value(u1),
+                         Value(rng_.UniformInt(0, 999999))});
+    retweet_data.Append({Value(mid), Value(u2),
+                         Value(rng_.UniformInt(0, 999999))});
+  }
+  retweets.BulkLoadUncounted(retweet_data);
+
+  // 20% of tweets mention 2 users each.
+  Table& mentions = db_->CreateTable(
+      "mentions",
+      Schema({{"mid", DataType::kInt64}, {"uid", DataType::kInt64}}),
+      {"mid", "uid"});
+  Relation mention_data(mentions.schema());
+  for (int64_t mid = 0; mid < tweets; ++mid) {
+    if (mid % 5 != 0) continue;  // 20% of tweets
+    const int64_t u1 = rng_.UniformInt(0, config_.users - 1);
+    int64_t u2 = rng_.UniformInt(0, config_.users - 1);
+    if (u2 == u1) u2 = (u2 + 1) % config_.users;
+    mention_data.Append({Value(mid), Value(u1)});
+    mention_data.Append({Value(mid), Value(u2)});
+  }
+  mentions.BulkLoadUncounted(mention_data);
+
+  // 40% of tweets linked to 2 events each.
+  Table& events = db_->CreateTable(
+      "rel_event_microblog",
+      Schema({{"eid", DataType::kInt64}, {"mid", DataType::kInt64}}),
+      {"eid", "mid"});
+  Relation event_data(events.schema());
+  const int64_t num_events = std::max<int64_t>(1, tweets / 100);
+  for (int64_t mid = 0; mid < tweets; ++mid) {
+    if (mid % 5 >= 2) continue;  // 40% of tweets
+    const int64_t e1 = rng_.UniformInt(0, num_events - 1);
+    int64_t e2 = rng_.UniformInt(0, num_events - 1);
+    if (e2 == e1) e2 = (e2 + 1) % num_events;
+    event_data.Append({Value(e1), Value(mid)});
+    event_data.Append({Value(e2), Value(mid)});
+  }
+  events.BulkLoadUncounted(event_data);
+}
+
+const std::vector<std::string>& BsmaWorkload::ViewNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "q7", "q10", "q11", "q15", "q18", "qs1", "qs2", "qs3"};
+  return *names;
+}
+
+std::string BsmaWorkload::Describe(const std::string& view) {
+  if (view == "q7") return "Mentioned users within a time range";
+  if (view == "q10") return "Users who are retweeted within a time range";
+  if (view == "q11") return "Pairs of retweeting users, with retweet counts";
+  if (view == "q15") return "Users talking about events within a time range";
+  if (view == "q18") return "Pairwise count of mentions";
+  if (view == "qs1") return "Aggregate of friends of friends within a city";
+  if (view == "qs2") return "Aggregate of retweeters for every user";
+  if (view == "qs3") return "Aggregate of users who tweet about topics";
+  return "unknown view";
+}
+
+PlanPtr BsmaWorkload::ViewPlan(const std::string& view) const {
+  const Database& db = *db_;
+  const ExprPtr ts_range = And(Ge(Col("ts"), Lit(Value(int64_t{400000}))),
+                               Le(Col("ts"), Lit(Value(int64_t{600000}))));
+
+  if (view == "q7") {
+    // Mentioned users in a time range: mentions ⋈ microblog ⋈ user,
+    // extended with tweetsnum/favornum (paper Sec. 7.1). mentions.uid is
+    // the mentioned user; microblog.uid the author — alias to keep them
+    // apart.
+    PlanPtr joined = PlanNode::Join(
+        AliasScan(db, "mentions", "m_"),
+        PlanNode::Project(PlanNode::Select(PlanNode::Scan("microblog"),
+                                           ts_range),
+                          {{Col("mid"), "mid"},
+                           {Col("uid"), "author"},
+                           {Col("ts"), "ts"}}),
+        Eq(Col("m_mid"), Col("mid")));
+    joined = PlanNode::Join(std::move(joined), AliasScan(db, "user", "u_"),
+                            Eq(Col("m_uid"), Col("u_uid")));
+    return ProjectColumns(std::move(joined),
+                          {"m_mid", "m_uid", "author", "u_tweetsnum",
+                           "u_favornum"});
+  }
+  if (view == "q10") {
+    // Users retweeted in a time range: 4-relation chain
+    // retweets ⋈ microblog ⋈ user(author) ⋈ user(retweeter).
+    PlanPtr rt2 = PlanNode::Join(
+        AliasScan(db, "retweets", "r_"),
+        PlanNode::Project(PlanNode::Select(PlanNode::Scan("microblog"),
+                                           ts_range),
+                          {{Col("mid"), "mid"},
+                           {Col("uid"), "author"},
+                           {Col("ts"), "ts"}}),
+        Eq(Col("r_mid"), Col("mid")));
+    PlanPtr with_author = PlanNode::Join(
+        std::move(rt2), AliasScan(db, "user", "a_"),
+        Eq(Col("author"), Col("a_uid")));
+    PlanPtr with_retweeter = PlanNode::Join(
+        std::move(with_author), AliasScan(db, "user", "w_"),
+        Eq(Col("r_uid"), Col("w_uid")));
+    return ProjectColumns(std::move(with_retweeter),
+                          {"r_mid", "r_uid", "author", "a_tweetsnum",
+                           "a_favornum", "w_tweetsnum", "w_favornum"});
+  }
+  if (view == "q11") {
+    // Pairs of users retweeting the same tweet, with pair counts —
+    // extended with the first user's activity (paper Sec. 7.1: tweetsnum/
+    // favornum added to the SELECT; here they feed the aggregate).
+    PlanPtr pairs = PlanNode::Join(
+        AliasScan(db, "retweets", "a_"), AliasScan(db, "retweets", "b_"),
+        And(Eq(Col("a_mid"), Col("b_mid")),
+            Lt(Col("a_uid"), Col("b_uid"))));
+    PlanPtr with_user = PlanNode::Join(std::move(pairs),
+                                       AliasScan(db, "user", "u_"),
+                                       Eq(Col("a_uid"), Col("u_uid")));
+    return PlanNode::Aggregate(
+        std::move(with_user), {"a_uid", "b_uid"},
+        {{AggFunc::kCount, nullptr, "times"},
+         {AggFunc::kSum, Add(Col("u_tweetsnum"), Col("u_favornum")),
+          "activity"}});
+  }
+  if (view == "q15") {
+    // Users talking about events in a time range.
+    PlanPtr tweets = PlanNode::Select(PlanNode::Scan("microblog"), ts_range);
+    PlanPtr ev = NaturalJoin(PlanNode::Scan("rel_event_microblog"),
+                             std::move(tweets), db);  // shares mid
+    return NaturalJoin(std::move(ev), PlanNode::Scan("user"),
+                       db);  // shares uid (tweet author)
+  }
+  if (view == "q18") {
+    // Pairwise mention counts (author -> mentioned), extended with the
+    // mentioned user's tweetsnum/favornum feeding the aggregate.
+    PlanPtr joined = PlanNode::Join(
+        AliasScan(db, "mentions", "m_"),
+        PlanNode::Project(PlanNode::Scan("microblog"),
+                          {{Col("mid"), "mid"}, {Col("uid"), "author"}}),
+        Eq(Col("m_mid"), Col("mid")));
+    joined = PlanNode::Join(std::move(joined), AliasScan(db, "user", "u_"),
+                            Eq(Col("m_uid"), Col("u_uid")));
+    return PlanNode::Aggregate(
+        std::move(joined), {"author", "m_uid"},
+        {{AggFunc::kCount, nullptr, "cnt"},
+         {AggFunc::kSum, Col("u_tweetsnum"), "mentioned_activity"}});
+  }
+  if (view == "qs1") {
+    // Friends-of-friends within the same city: long chain ending in a
+    // selective condition (paper: "a long join chain with a high
+    // selectivity that appears at the end of the join chain").
+    PlanPtr f1 = AliasScan(db, "friendlist", "f1_");
+    PlanPtr f2 = AliasScan(db, "friendlist", "f2_");
+    PlanPtr chain = PlanNode::Join(std::move(f1), std::move(f2),
+                                   Eq(Col("f1_fid"), Col("f2_uid")));
+    chain = PlanNode::Join(std::move(chain), AliasScan(db, "user", "u1_"),
+                           Eq(Col("f1_uid"), Col("u1_uid")));
+    chain = PlanNode::Join(
+        std::move(chain), AliasScan(db, "user", "u2_"),
+        And(Eq(Col("f2_fid"), Col("u2_uid")),
+            Eq(Col("u1_city"), Col("u2_city"))));
+    return PlanNode::Aggregate(std::move(chain), {"f1_uid"},
+                               {{AggFunc::kSum, Col("u2_tweetsnum"), "fof"}});
+  }
+  if (view == "qs2") {
+    // Sum of retweeter activity per tweet author.
+    PlanPtr joined = PlanNode::Join(
+        AliasScan(db, "retweets", "r_"),
+        PlanNode::Project(PlanNode::Scan("microblog"),
+                          {{Col("mid"), "mid"}, {Col("uid"), "author"}}),
+        Eq(Col("r_mid"), Col("mid")));
+    joined = PlanNode::Join(std::move(joined), AliasScan(db, "user", "w_"),
+                            Eq(Col("r_uid"), Col("w_uid")));
+    return PlanNode::Aggregate(
+        std::move(joined), {"author"},
+        {{AggFunc::kSum, Col("w_tweetsnum"), "activity"}});
+  }
+  if (view == "qs3") {
+    // Per-topic activity of users tweeting recently: the ts selection makes
+    // idIVM's cache much smaller than the raw join fanout the tuple-based
+    // approach has to chase.
+    PlanPtr tweets = PlanNode::Select(PlanNode::Scan("microblog"), ts_range);
+    PlanPtr joined =
+        NaturalJoin(std::move(tweets), PlanNode::Scan("user"), db);
+    return PlanNode::Aggregate(
+        std::move(joined), {"topic"},
+        {{AggFunc::kSum, Col("tweetsnum"), "activity"},
+         {AggFunc::kSum, Col("favornum"), "favor"}});
+  }
+  IDIVM_UNREACHABLE(StrCat("unknown BSMA view: ", view));
+}
+
+std::string BsmaWorkload::ViewSql(const std::string& view) {
+  if (view == "q7") {
+    return "SELECT m.mid AS m_mid, m.uid AS m_uid, t.uid AS author, "
+           "u.tweetsnum AS u_tweetsnum, u.favornum AS u_favornum "
+           "FROM mentions m JOIN microblog t ON m.mid = t.mid "
+           "JOIN user u ON m.uid = u.uid "
+           "WHERE t.ts >= 400000 AND t.ts <= 600000";
+  }
+  if (view == "q10") {
+    return "SELECT r.mid AS r_mid, r.uid AS r_uid, t.uid AS author, "
+           "a.tweetsnum AS a_tweetsnum, a.favornum AS a_favornum, "
+           "w.tweetsnum AS w_tweetsnum, w.favornum AS w_favornum "
+           "FROM retweets r JOIN microblog t ON r.mid = t.mid "
+           "JOIN user a ON t.uid = a.uid JOIN user w ON r.uid = w.uid "
+           "WHERE t.ts >= 400000 AND t.ts <= 600000";
+  }
+  if (view == "q11") {
+    return "SELECT a.uid AS a_uid, b.uid AS b_uid, COUNT(*) AS times, "
+           "SUM(u.tweetsnum + u.favornum) AS activity "
+           "FROM retweets a JOIN retweets b "
+           "ON a.mid = b.mid AND a.uid < b.uid "
+           "JOIN user u ON a.uid = u.uid "
+           "GROUP BY a.uid, b.uid";
+  }
+  if (view == "q15") {
+    return "SELECT * FROM rel_event_microblog NATURAL JOIN microblog "
+           "NATURAL JOIN user WHERE ts >= 400000 AND ts <= 600000";
+  }
+  if (view == "q18") {
+    return "SELECT t.uid AS author, m.uid AS m_uid, COUNT(*) AS cnt, "
+           "SUM(u.tweetsnum) AS mentioned_activity "
+           "FROM mentions m JOIN microblog t ON m.mid = t.mid "
+           "JOIN user u ON m.uid = u.uid "
+           "GROUP BY author, m.uid";
+  }
+  if (view == "qs1") {
+    return "SELECT f1.uid AS f1_uid, SUM(u2.tweetsnum) AS fof "
+           "FROM friendlist f1 JOIN friendlist f2 ON f1.fid = f2.uid "
+           "JOIN user u1 ON f1.uid = u1.uid "
+           "JOIN user u2 ON f2.fid = u2.uid AND u1.city = u2.city "
+           "GROUP BY f1.uid";
+  }
+  if (view == "qs2") {
+    return "SELECT t.uid AS author, SUM(w.tweetsnum) AS activity "
+           "FROM retweets r JOIN microblog t ON r.mid = t.mid "
+           "JOIN user w ON r.uid = w.uid "
+           "GROUP BY author";
+  }
+  if (view == "qs3") {
+    return "SELECT topic, SUM(tweetsnum) AS activity, "
+           "SUM(favornum) AS favor "
+           "FROM microblog NATURAL JOIN user "
+           "WHERE ts >= 400000 AND ts <= 600000 "
+           "GROUP BY topic";
+  }
+  IDIVM_UNREACHABLE(StrCat("unknown BSMA view: ", view));
+}
+
+void BsmaWorkload::ApplyUserUpdates(ModificationLogger* logger, int64_t n) {
+  const std::vector<size_t> picks = rng_.SampleIndices(
+      static_cast<size_t>(config_.users), static_cast<size_t>(n));
+  for (size_t pick : picks) {
+    const int64_t uid = static_cast<int64_t>(pick);
+    logger->Update("user", {Value(uid)}, {"tweetsnum", "favornum"},
+                   {Value(rng_.UniformInt(0, 2000)),
+                    Value(rng_.UniformInt(0, 5000))});
+  }
+}
+
+}  // namespace idivm

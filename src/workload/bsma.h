@@ -1,0 +1,73 @@
+// A BSMA-shaped social-media-analytics workload (Section 7.1, Fig. 9).
+//
+// The paper evaluates idIVM on the Benchmark for Social Media Analytics
+// (BSMA) with 1M users / 100M friendlist rows / 20M tweets. This generator
+// reproduces the schema and the paper's table ratios (10% of tweets
+// retweeted twice, 20% mentioning two users, 40% linked to two events,
+// friendlist fanout) at a configurable laptop scale, plus the eight views of
+// Fig. 9b: Q7, Q10, Q11, Q15, Q18 (BSMA queries, minimally extended per the
+// paper: tweetsnum/favornum added to SELECT, ORDER BY/LIMIT removed) and the
+// additional aggregate views Q*1, Q*2, Q*3 whose aggregates are affected by
+// the updated attributes.
+//
+// The maintenance workload is the paper's: update diffs on the user table's
+// tweetsnum and favornum attributes.
+
+#ifndef IDIVM_WORKLOAD_BSMA_H_
+#define IDIVM_WORKLOAD_BSMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/common/rng.h"
+#include "src/core/modification_log.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+
+struct BsmaConfig {
+  // Number of users; everything else scales with the paper's ratios:
+  // tweets = 20×users, retweets = 4×users, mentions = 8×users,
+  // event links = 16×users, friendlist = friends_per_user × users.
+  int64_t users = 2000;
+  int64_t friends_per_user = 20;  // paper: 100; scaled for laptop runs
+  int64_t num_cities = 50;
+  int64_t num_topics = 100;
+  uint64_t seed = 7;
+};
+
+class BsmaWorkload {
+ public:
+  BsmaWorkload(Database* db, const BsmaConfig& config);
+
+  const BsmaConfig& config() const { return config_; }
+
+  // View names accepted by ViewPlan, in Fig. 10 order.
+  static const std::vector<std::string>& ViewNames();
+
+  // A one-line description (Fig. 9b).
+  static std::string Describe(const std::string& view);
+
+  PlanPtr ViewPlan(const std::string& view) const;
+
+  // The same view as SQL text (for the src/sql front end); semantically
+  // equivalent to ViewPlan(view) — asserted by bsma_views_test.
+  static std::string ViewSql(const std::string& view);
+
+  // The paper's maintenance workload: n update diffs on user.tweetsnum and
+  // user.favornum.
+  void ApplyUserUpdates(ModificationLogger* logger, int64_t n);
+
+ private:
+  int64_t num_tweets() const { return config_.users * 20; }
+
+  Database* db_;
+  BsmaConfig config_;
+  mutable Rng rng_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_WORKLOAD_BSMA_H_

@@ -1,0 +1,157 @@
+#include "src/workload/devices_parts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+DevicesPartsWorkload::DevicesPartsWorkload(Database* db,
+                                           const DevicesPartsConfig& config)
+    : db_(db),
+      config_(config),
+      rng_(config.seed),
+      next_pid_(config.num_parts) {
+  Table& parts = db_->CreateTable(
+      "parts",
+      Schema({{"pid", DataType::kInt64}, {"price", DataType::kDouble}}),
+      {"pid"});
+  Table& devices = db_->CreateTable(
+      "devices",
+      Schema({{"did", DataType::kInt64}, {"category", DataType::kString}}),
+      {"did"});
+  Table& devices_parts = db_->CreateTable(
+      "devices_parts",
+      Schema({{"did", DataType::kInt64}, {"pid", DataType::kInt64}}),
+      {"did", "pid"});
+
+  Relation parts_data(parts.schema());
+  for (int64_t pid = 0; pid < config_.num_parts; ++pid) {
+    parts_data.Append(
+        {Value(pid), Value(std::floor(rng_.UniformDouble() * 99) + 1)});
+    live_pids_.push_back(pid);
+  }
+  parts.BulkLoadUncounted(parts_data);
+
+  Relation devices_data(devices.schema());
+  for (int64_t did = 0; did < config_.num_devices; ++did) {
+    const bool phone =
+        rng_.UniformInt(0, 99) < config_.selectivity_pct;
+    devices_data.Append({Value(did), Value(phone ? "phone" : "tablet")});
+  }
+  devices.BulkLoadUncounted(devices_data);
+
+  Relation dp_data(devices_parts.schema());
+  std::vector<Relation> extra_data;
+  std::vector<Table*> extra_tables;
+  for (int64_t j = 0; j < config_.extra_joins; ++j) {
+    Table& r = db_->CreateTable(
+        StrCat("r", j + 1),
+        Schema({{"did", DataType::kInt64},
+                {"pid", DataType::kInt64},
+                {StrCat("x", j + 1), DataType::kDouble}}),
+        {"did", "pid"});
+    extra_tables.push_back(&r);
+    extra_data.emplace_back(r.schema());
+  }
+  for (int64_t did = 0; did < config_.num_devices; ++did) {
+    const std::vector<size_t> picks = rng_.SampleIndices(
+        static_cast<size_t>(config_.num_parts),
+        static_cast<size_t>(
+            std::min(config_.fanout, config_.num_parts)));
+    for (size_t pick : picks) {
+      const int64_t pid = static_cast<int64_t>(pick);
+      dp_data.Append({Value(did), Value(pid)});
+      for (int64_t j = 0; j < config_.extra_joins; ++j) {
+        extra_data[static_cast<size_t>(j)].Append(
+            {Value(did), Value(pid), Value(rng_.UniformDouble() * 10)});
+      }
+    }
+  }
+  devices_parts.BulkLoadUncounted(dp_data);
+  for (int64_t j = 0; j < config_.extra_joins; ++j) {
+    extra_tables[static_cast<size_t>(j)]->BulkLoadUncounted(
+        extra_data[static_cast<size_t>(j)]);
+  }
+}
+
+PlanPtr DevicesPartsWorkload::SpjViewPlan(bool with_selection) const {
+  // parts ⋈_pid devices_parts ⋈_did [σ_category] devices [⋈ R1 ... ⋈ Rj]
+  PlanPtr plan =
+      NaturalJoin(PlanNode::Scan("parts"), PlanNode::Scan("devices_parts"),
+                  *db_);
+  PlanPtr devices = PlanNode::Scan("devices");
+  if (with_selection) {
+    devices = PlanNode::Select(devices,
+                               Eq(Col("category"), Lit(Value("phone"))));
+  }
+  plan = NaturalJoin(std::move(plan), std::move(devices), *db_);
+  for (int64_t j = 0; j < config_.extra_joins; ++j) {
+    plan = NaturalJoin(std::move(plan), PlanNode::Scan(StrCat("r", j + 1)),
+                       *db_);
+  }
+  // Fig. 1b output: did, pid, price (plus the decomposed x columns).
+  std::vector<std::string> keep = {"did", "pid", "price"};
+  for (int64_t j = 0; j < config_.extra_joins; ++j) {
+    keep.push_back(StrCat("x", j + 1));
+  }
+  return ProjectColumns(std::move(plan), keep);
+}
+
+PlanPtr DevicesPartsWorkload::AggViewPlan(bool with_selection) const {
+  return PlanNode::Aggregate(SpjViewPlan(with_selection), {"did"},
+                             {{AggFunc::kSum, Col("price"), "cost"}});
+}
+
+void DevicesPartsWorkload::ApplyPriceUpdates(ModificationLogger* logger,
+                                             int64_t d) {
+  IDIVM_CHECK(d <= static_cast<int64_t>(live_pids_.size()),
+              "not enough parts for the requested diff size");
+  const std::vector<size_t> picks =
+      rng_.SampleIndices(live_pids_.size(), static_cast<size_t>(d));
+  for (size_t pick : picks) {
+    const int64_t pid = live_pids_[pick];
+    const double new_price = std::floor(rng_.UniformDouble() * 99) + 1;
+    logger->Update("parts", {Value(pid)}, {"price"}, {Value(new_price)});
+  }
+}
+
+void DevicesPartsWorkload::ApplyMixedChanges(ModificationLogger* logger,
+                                             int64_t inserts, int64_t deletes,
+                                             int64_t updates) {
+  for (int64_t i = 0; i < inserts; ++i) {
+    const int64_t pid = next_pid_++;
+    logger->Insert("parts",
+                   {Value(pid), Value(std::floor(rng_.UniformDouble() * 99) +
+                                      1)});
+    live_pids_.push_back(pid);
+    // Link the new part into 1-2 devices (and the decomposed tables).
+    const int64_t links = rng_.UniformInt(1, 2);
+    for (int64_t l = 0; l < links; ++l) {
+      const int64_t did = rng_.UniformInt(0, config_.num_devices - 1);
+      if (!db_->GetTable("devices_parts")
+               .LookupByKeyUncounted({Value(did), Value(pid)})
+               .has_value()) {
+        logger->Insert("devices_parts", {Value(did), Value(pid)});
+        for (int64_t j = 0; j < config_.extra_joins; ++j) {
+          logger->Insert(StrCat("r", j + 1),
+                         {Value(did), Value(pid),
+                          Value(rng_.UniformDouble() * 10)});
+        }
+      }
+    }
+  }
+  for (int64_t i = 0; i < deletes && !live_pids_.empty(); ++i) {
+    const size_t pick = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(live_pids_.size()) - 1));
+    const int64_t pid = live_pids_[pick];
+    logger->Delete("parts", {Value(pid)});
+    live_pids_[pick] = live_pids_.back();
+    live_pids_.pop_back();
+  }
+  if (updates > 0) ApplyPriceUpdates(logger, updates);
+}
+
+}  // namespace idivm

@@ -1,0 +1,75 @@
+// The running-example workload (Figs. 1, 5, 11 of the paper): an electronic
+// device manufacturer's database
+//
+//   parts(pid, price)           devices(did, category)
+//   devices_parts(did, pid)     R1..Rj(did, pid, x_i)   [Fig. 12b extension]
+//
+// with the SPJ view V (parts ⋈ devices_parts ⋈ σ_category devices) and the
+// aggregate view V' (γ_did, sum(price)→cost over V). Parameters follow
+// Fig. 11b: diff size d, selectivity s, fanout f, extra 1-to-1 joins j. The
+// absolute table sizes are scaled down from the paper's 5M/5M/50M to laptop
+// scale while preserving all the ratios the experiments vary.
+
+#ifndef IDIVM_WORKLOAD_DEVICES_PARTS_H_
+#define IDIVM_WORKLOAD_DEVICES_PARTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/common/rng.h"
+#include "src/core/modification_log.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+
+struct DevicesPartsConfig {
+  // Table sizes. Defaults keep the paper's 1:10 parts:links ratio.
+  int64_t num_parts = 20000;
+  int64_t num_devices = 20000;
+  // Fanout f: parts per device, i.e. |devices_parts| = f * num_devices.
+  int64_t fanout = 10;
+  // Selectivity s of category = "phone", in percent.
+  int64_t selectivity_pct = 20;
+  // Extra 1-to-1 joined tables R1..Rj on (did, pid) (Fig. 12b: vertically
+  // decomposed attributes). j=0 reproduces the original two-join view.
+  int64_t extra_joins = 0;
+  uint64_t seed = 42;
+};
+
+class DevicesPartsWorkload {
+ public:
+  DevicesPartsWorkload(Database* db, const DevicesPartsConfig& config);
+
+  const DevicesPartsConfig& config() const { return config_; }
+
+  // The SPJ view of Fig. 1b (plus the R1..Rj joins when configured):
+  //   SELECT did, pid, price[, x_i...] FROM parts ⋈ devices_parts ⋈ devices
+  //   [⋈ R1 ...] WHERE category = "phone"
+  // `with_selection` = false disables σ_category (Fig. 12b setup).
+  PlanPtr SpjViewPlan(bool with_selection = true) const;
+
+  // The aggregate view of Fig. 5b: γ_did, sum(price)→cost over the SPJ view.
+  PlanPtr AggViewPlan(bool with_selection = true) const;
+
+  // Applies d random price updates to `parts` through the logger (the
+  // Fig. 11c diff: ∆u_parts(pid, price_pre, price_post)).
+  void ApplyPriceUpdates(ModificationLogger* logger, int64_t d);
+
+  // Mixed workload: inserts new parts with device links, deletes existing
+  // ones, updates prices (for the insert/delete experiments and tests).
+  void ApplyMixedChanges(ModificationLogger* logger, int64_t inserts,
+                         int64_t deletes, int64_t updates);
+
+ private:
+  Database* db_;
+  DevicesPartsConfig config_;
+  mutable Rng rng_;
+  int64_t next_pid_;
+  std::vector<int64_t> live_pids_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_WORKLOAD_DEVICES_PARTS_H_

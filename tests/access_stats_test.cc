@@ -1,0 +1,43 @@
+// Unit tests for the Section 6 cost-model counters.
+
+#include "gtest/gtest.h"
+#include "src/storage/access_stats.h"
+
+namespace idivm {
+namespace {
+
+TEST(AccessStatsTest, TotalCombinesAllCounters) {
+  AccessStats s;
+  s.index_lookups = 3;
+  s.tuple_reads = 5;
+  s.tuple_writes = 7;
+  EXPECT_EQ(s.TotalAccesses(), 15);
+}
+
+TEST(AccessStatsTest, AddAndSubtract) {
+  AccessStats a;
+  a.index_lookups = 1;
+  a.tuple_reads = 2;
+  AccessStats b;
+  b.tuple_reads = 10;
+  b.tuple_writes = 4;
+  a += b;
+  EXPECT_EQ(a.index_lookups, 1);
+  EXPECT_EQ(a.tuple_reads, 12);
+  EXPECT_EQ(a.tuple_writes, 4);
+  const AccessStats d = a - b;
+  EXPECT_EQ(d.tuple_reads, 2);
+  EXPECT_EQ(d.tuple_writes, 0);
+}
+
+TEST(AccessStatsTest, ResetAndToString) {
+  AccessStats s;
+  s.tuple_reads = 9;
+  s.Reset();
+  EXPECT_EQ(s.TotalAccesses(), 0);
+  s.index_lookups = 2;
+  EXPECT_NE(s.ToString().find("lookups=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,106 @@
+// Unit tests for modification-log compaction (Section 5: combining multiple
+// modifications of one tuple into a single effective change).
+
+#include "gtest/gtest.h"
+#include "src/diff/compaction.h"
+
+namespace idivm {
+namespace {
+
+const Schema kSchema({{"id", DataType::kInt64},
+                      {"v", DataType::kDouble}});
+const std::vector<size_t> kKey = {0};
+
+Modification Ins(int64_t id, double v) {
+  Modification m;
+  m.kind = DiffType::kInsert;
+  m.post = {Value(id), Value(v)};
+  return m;
+}
+Modification Del(int64_t id, double v) {
+  Modification m;
+  m.kind = DiffType::kDelete;
+  m.pre = {Value(id), Value(v)};
+  return m;
+}
+Modification Upd(int64_t id, double pre, double post) {
+  Modification m;
+  m.kind = DiffType::kUpdate;
+  m.pre = {Value(id), Value(pre)};
+  m.post = {Value(id), Value(post)};
+  return m;
+}
+
+TEST(CompactionTest, InsertThenUpdateBecomesInsert) {
+  const auto net = ComputeNetChanges(kSchema, kKey,
+                                     {Ins(1, 1.0), Upd(1, 1.0, 5.0)});
+  ASSERT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].kind, DiffType::kInsert);
+  EXPECT_DOUBLE_EQ(net[0].post[1].AsDouble(), 5.0);
+}
+
+TEST(CompactionTest, InsertThenDeleteCancels) {
+  EXPECT_TRUE(
+      ComputeNetChanges(kSchema, kKey, {Ins(1, 1.0), Del(1, 1.0)}).empty());
+}
+
+TEST(CompactionTest, UpdateChainKeepsFirstPreLastPost) {
+  const auto net = ComputeNetChanges(
+      kSchema, kKey, {Upd(1, 1.0, 2.0), Upd(1, 2.0, 3.0), Upd(1, 3.0, 4.0)});
+  ASSERT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].kind, DiffType::kUpdate);
+  EXPECT_DOUBLE_EQ(net[0].pre[1].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(net[0].post[1].AsDouble(), 4.0);
+}
+
+TEST(CompactionTest, UpdateThenDeleteBecomesDeleteWithOriginalPre) {
+  const auto net = ComputeNetChanges(kSchema, kKey,
+                                     {Upd(1, 1.0, 2.0), Del(1, 2.0)});
+  ASSERT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].kind, DiffType::kDelete);
+  EXPECT_DOUBLE_EQ(net[0].pre[1].AsDouble(), 1.0);
+}
+
+TEST(CompactionTest, DeleteThenReinsertBecomesUpdateOrNothing) {
+  const auto changed = ComputeNetChanges(kSchema, kKey,
+                                         {Del(1, 1.0), Ins(1, 9.0)});
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0].kind, DiffType::kUpdate);
+  EXPECT_DOUBLE_EQ(changed[0].pre[1].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(changed[0].post[1].AsDouble(), 9.0);
+  // Identical re-insert: net no-op.
+  EXPECT_TRUE(
+      ComputeNetChanges(kSchema, kKey, {Del(1, 1.0), Ins(1, 1.0)}).empty());
+}
+
+TEST(CompactionTest, NoOpUpdateDropped) {
+  EXPECT_TRUE(ComputeNetChanges(kSchema, kKey,
+                                {Upd(1, 2.0, 9.0), Upd(1, 9.0, 2.0)})
+                  .empty());
+}
+
+TEST(CompactionTest, IndependentKeysKeepOrder) {
+  const auto net = ComputeNetChanges(
+      kSchema, kKey, {Upd(2, 1.0, 2.0), Ins(5, 3.0), Del(7, 4.0)});
+  ASSERT_EQ(net.size(), 3u);
+  EXPECT_EQ(net[0].pre[0].AsInt64(), 2);
+  EXPECT_EQ(net[1].post[0].AsInt64(), 5);
+  EXPECT_EQ(net[2].pre[0].AsInt64(), 7);
+}
+
+TEST(CompactionDeathTest, InconsistentHistoriesAbort) {
+  EXPECT_DEATH(
+      ComputeNetChanges(kSchema, kKey, {Ins(1, 1.0), Ins(1, 2.0)}),
+      "double insert");
+  EXPECT_DEATH(
+      ComputeNetChanges(kSchema, kKey, {Del(1, 1.0), Del(1, 1.0)}),
+      "deleted key");
+  Modification key_change;
+  key_change.kind = DiffType::kUpdate;
+  key_change.pre = {Value(int64_t{1}), Value(1.0)};
+  key_change.post = {Value(int64_t{2}), Value(1.0)};
+  EXPECT_DEATH(ComputeNetChanges(kSchema, kKey, {key_change}), "immutable");
+}
+
+}  // namespace
+}  // namespace idivm

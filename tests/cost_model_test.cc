@@ -1,0 +1,88 @@
+// Unit tests for the Section 6 analytical cost model, including the paper's
+// boundary discussions (when tuple-based could win, the a >= 1+p bound for
+// aggregates, and the insert-loss bound).
+
+#include "gtest/gtest.h"
+#include "src/analysis/cost_model.h"
+
+namespace idivm {
+namespace {
+
+TEST(CostModelTest, SpjFormulas) {
+  SpjCostModel m;
+  m.d = 100;
+  m.p = 2;
+  m.a = 10;
+  EXPECT_DOUBLE_EQ(m.IdBasedCost(), 300);
+  EXPECT_DOUBLE_EQ(m.TupleBasedCost(), 1400);
+  EXPECT_NEAR(m.SpeedupRatio(), 14.0 / 3.0, 1e-12);
+}
+
+TEST(CostModelTest, SpjTupleCanOnlyWinInTheCornerCase) {
+  // Section 6.1: tuple-based wins only when a < 1 - p, i.e. a < 1 AND
+  // severe overestimation p << 1.
+  SpjCostModel corner;
+  corner.d = 100;
+  corner.p = 0.1;  // severe overestimation
+  corner.a = 0.5;  // shared join keys amortize accesses
+  EXPECT_LT(corner.SpeedupRatio(), 1.0);
+  // With a >= 1 the ID-based approach never loses.
+  SpjCostModel normal = corner;
+  normal.a = 1.0;
+  EXPECT_GE(normal.SpeedupRatio(), 1.0);
+}
+
+TEST(CostModelTest, SpeedupGrowsWithJoinDepth) {
+  // Fig. 12b's shape: a grows with the number of joins, p fixed.
+  SpjCostModel m;
+  m.d = 100;
+  m.p = 2;
+  double last = 0;
+  for (double a : {5.0, 10.0, 20.0, 40.0}) {
+    m.a = a;
+    EXPECT_GT(m.SpeedupRatio(), last);
+    last = m.SpeedupRatio();
+  }
+}
+
+TEST(CostModelTest, AggFormulas) {
+  AggCostModel m;
+  m.d = 100;
+  m.p = 2;
+  m.a = 10;
+  m.g = 0.5;
+  EXPECT_DOUBLE_EQ(m.IdBasedCost(), 100 * (1 + 2 + 2));
+  EXPECT_DOUBLE_EQ(m.TupleBasedCost(), 100 * (10 + 2));
+  EXPECT_NEAR(m.SpeedupRatio(), 12.0 / 5.0, 1e-12);
+}
+
+TEST(CostModelTest, AggNeverLosesWhenAExceedsOnePlusP) {
+  // Section 6.2 / Appendix A.2: a >= 1 + p always, hence speedup >= 1.
+  for (double p : {0.5, 1.0, 2.0, 10.0}) {
+    for (double g : {0.1, 0.5, 1.0}) {
+      AggCostModel m;
+      m.d = 1;
+      m.p = p;
+      m.g = g;
+      m.a = 1 + p;  // the proven lower bound
+      EXPECT_GE(m.SpeedupRatio(), 1.0) << "p=" << p << " g=" << g;
+    }
+  }
+}
+
+TEST(CostModelTest, InsertLossBounded) {
+  // Section 6.2(b): losses on insert-heavy workloads are bounded — 1 per
+  // tuple inserted into V_spj.
+  EXPECT_LT(InsertBoundSpeedup(10, 2), 1.0);
+  EXPECT_GT(InsertBoundSpeedup(10, 2), 10.0 / 13.0);
+  EXPECT_NEAR(InsertBoundSpeedup(10, 0), 1.0, 1e-12);
+}
+
+TEST(CostModelTest, FormatModelRow) {
+  const std::string row = FormatModelRow("label", 100, 101);
+  EXPECT_NE(row.find("label"), std::string::npos);
+  EXPECT_NE(row.find("+1.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,43 @@
+// Unit tests for the catalog.
+
+#include "gtest/gtest.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+namespace {
+
+TEST(DatabaseTest, CreateHasGetDrop) {
+  Database db;
+  db.CreateTable("a", Schema({{"x", DataType::kInt64}}), {"x"});
+  db.CreateTable("b", Schema({{"y", DataType::kInt64}}), {"y"});
+  EXPECT_TRUE(db.HasTable("a"));
+  EXPECT_FALSE(db.HasTable("c"));
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(db.GetTable("a").name(), "a");
+  db.DropTable("a");
+  EXPECT_FALSE(db.HasTable("a"));
+}
+
+TEST(DatabaseDeathTest, DuplicateTableAborts) {
+  Database db;
+  db.CreateTable("a", Schema({{"x", DataType::kInt64}}), {"x"});
+  EXPECT_DEATH(db.CreateTable("a", Schema({{"x", DataType::kInt64}}), {"x"}),
+               "already exists");
+}
+
+TEST(DatabaseDeathTest, MissingTableAborts) {
+  Database db;
+  EXPECT_DEATH(db.GetTable("nope"), "no such table");
+}
+
+TEST(DatabaseTest, SharedStatsAcrossTables) {
+  Database db;
+  Table& a = db.CreateTable("a", Schema({{"x", DataType::kInt64}}), {"x"});
+  Table& b = db.CreateTable("b", Schema({{"y", DataType::kInt64}}), {"y"});
+  a.Insert({Value(int64_t{1})});
+  b.Insert({Value(int64_t{2})});
+  EXPECT_EQ(db.stats().tuple_writes, 2);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,99 @@
+// Tests for ∆-script structures: registry lookup, the Fig. 7-style printer,
+// the Fig. 6 rule-DAG rendering, and script shape invariants.
+
+#include "gtest/gtest.h"
+#include "src/core/compose.h"
+#include "src/core/rule_dag.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+class DeltaScriptTest : public ::testing::Test {
+ protected:
+  DeltaScriptTest() { testing::LoadRunningExample(&db_); }
+  Database db_;
+};
+
+TEST_F(DeltaScriptTest, RegistryLookup) {
+  const CompiledView view =
+      CompileView("v", testing::RunningExampleSpjPlan(db_), db_);
+  ASSERT_FALSE(view.script.diff_registry.empty());
+  const auto& [name, schema] = view.script.diff_registry.front();
+  const DiffSchema* found = view.script.FindDiffSchema(name);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, schema);
+  EXPECT_EQ(view.script.FindDiffSchema("no_such_diff"), nullptr);
+}
+
+TEST_F(DeltaScriptTest, PrinterShowsFig7Shape) {
+  const CompiledView view =
+      CompileView("vp", testing::RunningExampleAggPlan(db_), db_);
+  const std::string text = view.script.ToString();
+  // Numbered steps, APPLY statements with phases, the blocking γ step with
+  // its cache and output diffs.
+  EXPECT_NE(text.find("1. "), std::string::npos);
+  EXPECT_NE(text.find("(cache-update)"), std::string::npos);
+  EXPECT_NE(text.find("(view-update)"), std::string::npos);
+  EXPECT_NE(text.find("RETURNING"), std::string::npos);
+  EXPECT_NE(text.find("γ-MAINTAIN[did; sum(price)→cost]"),
+            std::string::npos);
+  EXPECT_NE(text.find("mode=incremental"), std::string::npos);
+}
+
+TEST_F(DeltaScriptTest, DagShowsBlockingAggregation) {
+  const CompiledView view =
+      CompileView("vp", testing::RunningExampleAggPlan(db_), db_);
+  const std::string dag = view.dag.ToString();
+  EXPECT_NE(dag.find("base i-diff"), std::string::npos);
+  EXPECT_NE(dag.find("[blocking]"), std::string::npos);
+  // Fused pass-throughs are annotated.
+  EXPECT_NE(dag.find("[fused]"), std::string::npos);
+}
+
+TEST_F(DeltaScriptTest, EveryComputedDiffIsRegistered) {
+  const CompiledView view =
+      CompileView("vp", testing::RunningExampleAggPlan(db_), db_);
+  for (const ScriptStep& step : view.script.steps) {
+    if (step.compute.has_value() && !step.compute->raw_relation) {
+      EXPECT_NE(view.script.FindDiffSchema(step.compute->out_name), nullptr)
+          << step.compute->out_name;
+    }
+    if (step.apply.has_value()) {
+      EXPECT_NE(view.script.FindDiffSchema(step.apply->diff_name), nullptr)
+          << step.apply->diff_name;
+    }
+  }
+}
+
+TEST_F(DeltaScriptTest, ApplyOrderDeletesBeforeUpdatesBeforeInserts) {
+  const CompiledView view =
+      CompileView("v", testing::RunningExampleSpjPlan(db_), db_);
+  int last_rank = -1;
+  for (const ScriptStep& step : view.script.steps) {
+    if (!step.apply.has_value() ||
+        step.apply->target_table != "v") {
+      continue;
+    }
+    const DiffSchema* schema =
+        view.script.FindDiffSchema(step.apply->diff_name);
+    ASSERT_NE(schema, nullptr);
+    int rank = 0;
+    switch (schema->type()) {
+      case DiffType::kDelete:
+        rank = 0;
+        break;
+      case DiffType::kUpdate:
+        rank = 1;
+        break;
+      case DiffType::kInsert:
+        rank = 2;
+        break;
+    }
+    EXPECT_GE(rank, last_rank) << "apply order violated";
+    last_rank = std::max(last_rank, rank);
+  }
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,88 @@
+// Unit tests for i-diff schemas (Section 2) and instances.
+
+#include "gtest/gtest.h"
+#include "src/diff/diff_instance.h"
+#include "src/diff/diff_schema.h"
+
+namespace idivm {
+namespace {
+
+const Schema kTarget({{"pid", DataType::kString},
+                      {"price", DataType::kDouble},
+                      {"weight", DataType::kDouble}});
+
+TEST(DiffSchemaTest, UpdateLayout) {
+  const DiffSchema d(DiffType::kUpdate, "parts", kTarget, {"pid"},
+                     {"price", "weight"}, {"price"});
+  EXPECT_EQ(d.relation_schema().ColumnNames(),
+            (std::vector<std::string>{"pid", "price__pre", "weight__pre",
+                                      "price__post"}));
+  EXPECT_TRUE(d.HasPre("weight"));
+  EXPECT_TRUE(d.HasPost("price"));
+  EXPECT_FALSE(d.HasPost("weight"));
+  EXPECT_FALSE(d.additive());
+}
+
+TEST(DiffSchemaTest, InsertForbidsPre) {
+  EXPECT_DEATH(DiffSchema(DiffType::kInsert, "parts", kTarget, {"pid"},
+                          {"price"}, {"price", "weight"}),
+               "no pre-state");
+  const DiffSchema ok(DiffType::kInsert, "parts", kTarget, {"pid"}, {},
+                      {"price", "weight"});
+  EXPECT_EQ(ok.relation_schema().num_columns(), 3u);
+}
+
+TEST(DiffSchemaTest, DeleteForbidsPost) {
+  EXPECT_DEATH(DiffSchema(DiffType::kDelete, "parts", kTarget, {"pid"}, {},
+                          {"price"}),
+               "no post-state");
+}
+
+TEST(DiffSchemaTest, AdditiveOnlyForUpdates) {
+  EXPECT_DEATH(DiffSchema(DiffType::kInsert, "parts", kTarget, {"pid"}, {},
+                          {"price"}, /*additive=*/true),
+               "additive");
+  const DiffSchema d(DiffType::kUpdate, "parts", kTarget, {"pid"}, {},
+                     {"price"}, /*additive=*/true);
+  EXPECT_TRUE(d.additive());
+  EXPECT_NE(d.ToString().find("+="), std::string::npos);
+}
+
+TEST(DiffSchemaTest, StateSuffixHelpers) {
+  EXPECT_EQ(PreName("price"), "price__pre");
+  EXPECT_EQ(PostName("price"), "price__post");
+  EXPECT_EQ(StripStateSuffix("price__pre"), "price");
+  EXPECT_EQ(StripStateSuffix("price__post"), "price");
+  EXPECT_EQ(StripStateSuffix("price"), "price");
+}
+
+TEST(DiffInstanceTest, AppendAndDeduplicate) {
+  const DiffSchema d(DiffType::kUpdate, "parts", kTarget, {"pid"}, {},
+                     {"price"});
+  DiffInstance inst(d);
+  inst.Append({Value("P1"), Value(11.0)});
+  inst.Append({Value("P2"), Value(22.0)});
+  inst.Append({Value("P1"), Value(11.0)});  // duplicate key
+  EXPECT_EQ(inst.size(), 3u);
+  inst.DeduplicateByIds();
+  EXPECT_EQ(inst.size(), 2u);
+}
+
+TEST(DiffInstanceDeathTest, DataSchemaMustMatch) {
+  const DiffSchema d(DiffType::kUpdate, "parts", kTarget, {"pid"}, {},
+                     {"price"});
+  Relation wrong(Schema({{"pid", DataType::kString},
+                         {"price", DataType::kDouble}}));
+  EXPECT_DEATH(DiffInstance(d, wrong), "does not match");
+}
+
+TEST(DiffSchemaTest, ToStringShape) {
+  const DiffSchema d(DiffType::kUpdate, "parts", kTarget, {"pid"},
+                     {"price"}, {"price"});
+  const std::string s = d.ToString();
+  EXPECT_NE(s.find("∆u_parts"), std::string::npos);
+  EXPECT_NE(s.find("pre: price"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,75 @@
+// Unit tests for expression analysis: referenced columns, conjunct
+// splitting, renaming (the __pre/__post retargeting of rules), equi-pair
+// extraction.
+
+#include "gtest/gtest.h"
+#include "src/expr/analysis.h"
+
+namespace idivm {
+namespace {
+
+TEST(AnalysisTest, ReferencedColumns) {
+  const ExprPtr e = And(Gt(Add(Col("a"), Col("b")), Lit(Value(1.0))),
+                        Eq(Col("c"), Col("a")));
+  EXPECT_EQ(ReferencedColumns(e), (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(ReferencedColumns(nullptr).empty());
+}
+
+TEST(AnalysisTest, SplitAndConjoin) {
+  const ExprPtr e = And(And(Col("a"), Col("b")), Col("c"));
+  const std::vector<ExprPtr> parts = SplitConjuncts(e);
+  EXPECT_EQ(parts.size(), 3u);
+  // ORs are not split.
+  EXPECT_EQ(SplitConjuncts(Or(Col("a"), Col("b"))).size(), 1u);
+  // Conjoin round-trips.
+  EXPECT_TRUE(ExprEquals(ConjoinAll(parts), e));
+  // Empty conjunction is TRUE.
+  const ExprPtr truth = ConjoinAll({});
+  EXPECT_EQ(truth->literal().AsInt64(), 1);
+}
+
+TEST(AnalysisTest, RenameColumns) {
+  const ExprPtr e = Gt(Add(Col("price"), Col("tax")), Lit(Value(10.0)));
+  const ExprPtr renamed =
+      RenameColumns(e, {{"price", "price__post"}});
+  EXPECT_EQ(ReferencedColumns(renamed),
+            (std::set<std::string>{"price__post", "tax"}));
+  // Original untouched.
+  EXPECT_EQ(ReferencedColumns(e), (std::set<std::string>{"price", "tax"}));
+}
+
+TEST(AnalysisTest, ExtractEquiPairs) {
+  const std::set<std::string> left = {"a", "b"};
+  const std::set<std::string> right = {"x", "y"};
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const ExprPtr pred =
+      And(And(Eq(Col("a"), Col("x")), Eq(Col("y"), Col("b"))),
+          Lt(Col("a"), Col("y")));
+  const std::vector<ExprPtr> residual =
+      ExtractEquiPairs(pred, left, right, &pairs);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"a", "x"}));
+  EXPECT_EQ(pairs[1], (std::pair<std::string, std::string>{"b", "y"}));
+  ASSERT_EQ(residual.size(), 1u);
+  EXPECT_EQ(residual[0]->ToString(), "(a < y)");
+}
+
+TEST(AnalysisTest, ExtractEquiPairsIgnoresSameSide) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const std::vector<ExprPtr> residual = ExtractEquiPairs(
+      Eq(Col("a"), Col("b")), {"a", "b"}, {"x"}, &pairs);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(residual.size(), 1u);
+}
+
+TEST(AnalysisTest, ExprEquals) {
+  EXPECT_TRUE(ExprEquals(Add(Col("a"), Lit(Value(1.0))),
+                         Add(Col("a"), Lit(Value(1.0)))));
+  EXPECT_FALSE(ExprEquals(Add(Col("a"), Lit(Value(1.0))),
+                          Add(Col("a"), Lit(Value(int64_t{1})))));
+  EXPECT_FALSE(ExprEquals(Col("a"), Col("b")));
+  EXPECT_FALSE(ExprEquals(Lt(Col("a"), Col("b")), Gt(Col("a"), Col("b"))));
+}
+
+}  // namespace
+}  // namespace idivm

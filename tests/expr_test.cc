@@ -1,0 +1,109 @@
+// Unit tests for scalar expressions: arithmetic, comparisons, three-valued
+// logic, functions, binding and printing.
+
+#include "gtest/gtest.h"
+#include "src/expr/expr.h"
+
+namespace idivm {
+namespace {
+
+const Schema kSchema({{"a", DataType::kDouble},
+                      {"b", DataType::kInt64},
+                      {"s", DataType::kString}});
+const Row kRow = {Value(2.5), Value(int64_t{4}), Value("hi")};
+
+Value Eval(const ExprPtr& e) { return e->Eval(kRow, kSchema); }
+
+TEST(ExprTest, ColumnAndLiteral) {
+  EXPECT_DOUBLE_EQ(Eval(Col("a")).AsDouble(), 2.5);
+  EXPECT_EQ(Eval(Lit(Value(int64_t{7}))).AsInt64(), 7);
+}
+
+TEST(ExprTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(Eval(Add(Col("a"), Col("b"))).NumericAsDouble(), 6.5);
+  EXPECT_EQ(Eval(Mul(Col("b"), Lit(Value(int64_t{3})))).AsInt64(), 12);
+  EXPECT_EQ(Eval(Sub(Col("b"), Lit(Value(int64_t{1})))).AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(
+      Eval(Div(Col("b"), Lit(Value(int64_t{8})))).AsDouble(), 0.5);
+  EXPECT_EQ(Eval(Mod(Col("b"), Lit(Value(int64_t{3})))).AsInt64(), 1);
+  // Division by zero yields NULL (keeps ∆-scripts from crashing).
+  EXPECT_TRUE(Eval(Div(Col("b"), Lit(Value(int64_t{0})))).is_null());
+  // NULL propagates.
+  EXPECT_TRUE(Eval(Add(Col("a"), Lit(Value::Null()))).is_null());
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_EQ(Eval(Lt(Col("a"), Col("b"))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Ge(Col("a"), Col("b"))).AsInt64(), 0);
+  EXPECT_EQ(Eval(Eq(Col("s"), Lit(Value("hi")))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Ne(Col("s"), Lit(Value("hi")))).AsInt64(), 0);
+  EXPECT_TRUE(Eval(Eq(Col("a"), Lit(Value::Null()))).is_null());
+}
+
+TEST(ExprTest, KleeneLogic) {
+  const ExprPtr t = Lit(Value(int64_t{1}));
+  const ExprPtr f = Lit(Value(int64_t{0}));
+  const ExprPtr u = Lit(Value::Null());
+  EXPECT_EQ(Eval(And(t, f)).AsInt64(), 0);
+  EXPECT_EQ(Eval(And(f, u)).AsInt64(), 0);   // false AND unknown = false
+  EXPECT_TRUE(Eval(And(t, u)).is_null());    // true AND unknown = unknown
+  EXPECT_EQ(Eval(Or(t, u)).AsInt64(), 1);    // true OR unknown = true
+  EXPECT_TRUE(Eval(Or(f, u)).is_null());
+  EXPECT_EQ(Eval(Not(f)).AsInt64(), 1);
+  EXPECT_TRUE(Eval(Not(u)).is_null());
+}
+
+TEST(ExprTest, Functions) {
+  EXPECT_DOUBLE_EQ(Eval(Expr::Function("abs", {Lit(Value(-3.5))}))
+                       .AsDouble(),
+                   3.5);
+  EXPECT_EQ(Eval(Expr::Function("abs", {Lit(Value(int64_t{-3}))})).AsInt64(),
+            3);
+  EXPECT_DOUBLE_EQ(Eval(Expr::Function("round", {Lit(Value(2.6))}))
+                       .AsDouble(),
+                   3.0);
+  EXPECT_EQ(Eval(Expr::Function("coalesce",
+                                {Lit(Value::Null()), Col("b")}))
+                .AsInt64(),
+            4);
+  EXPECT_EQ(Eval(Expr::Function("isnull", {Lit(Value::Null())})).AsInt64(),
+            1);
+  EXPECT_EQ(Eval(Expr::Function("isnull", {Col("a")})).AsInt64(), 0);
+  EXPECT_DOUBLE_EQ(Eval(Expr::Function(
+                            "if", {Lit(Value(int64_t{1})), Col("a"),
+                                   Lit(Value(0.0))}))
+                       .AsDouble(),
+                   2.5);
+  EXPECT_EQ(Eval(Expr::Function("concat", {Col("s"), Lit(Value("!"))}))
+                .AsString(),
+            "hi!");
+}
+
+TEST(ExprTest, PredicateHolds) {
+  EXPECT_TRUE(PredicateHolds(Gt(Col("b"), Lit(Value(int64_t{3}))), kRow,
+                             kSchema));
+  EXPECT_FALSE(PredicateHolds(Gt(Col("b"), Lit(Value(int64_t{9}))), kRow,
+                              kSchema));
+  // NULL predicates do not hold.
+  EXPECT_FALSE(PredicateHolds(Eq(Col("b"), Lit(Value::Null())), kRow,
+                              kSchema));
+}
+
+TEST(ExprTest, BoundExprMatchesUnbound) {
+  const ExprPtr e =
+      And(Gt(Add(Col("a"), Col("b")), Lit(Value(5.0))),
+          Eq(Col("s"), Lit(Value("hi"))));
+  const BoundExpr bound(e, kSchema);
+  EXPECT_EQ(bound.Eval(kRow).AsInt64(), Eval(e).AsInt64());
+  EXPECT_TRUE(bound.Holds(kRow));
+}
+
+TEST(ExprTest, ToString) {
+  EXPECT_EQ(Add(Col("a"), Lit(Value(int64_t{1})))->ToString(), "(a + 1)");
+  EXPECT_EQ(Eq(Col("s"), Lit(Value("x")))->ToString(), "(s = \"x\")");
+  EXPECT_EQ(Not(Col("a"))->ToString(), "NOT a");
+  EXPECT_EQ(Expr::Function("abs", {Col("a")})->ToString(), "abs(a)");
+}
+
+}  // namespace
+}  // namespace idivm

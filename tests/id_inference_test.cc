@@ -1,0 +1,111 @@
+// Unit tests for Pass 1 — ID inference (Table 1) and automatic projection
+// extension.
+
+#include "gtest/gtest.h"
+#include "src/core/id_inference.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+class IdInferenceTest : public ::testing::Test {
+ protected:
+  IdInferenceTest() { testing::LoadRunningExample(&db_); }
+  Database db_;
+};
+
+TEST_F(IdInferenceTest, ScanKeysAreIds) {
+  const IdAnnotatedPlan a = InferIds(PlanNode::Scan("devices_parts"), db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()),
+            (std::vector<std::string>{"did", "pid"}));
+}
+
+TEST_F(IdInferenceTest, SelectionPreservesIds) {
+  const PlanPtr p = PlanNode::Select(
+      PlanNode::Scan("parts"), Gt(Col("price"), Lit(Value(5.0))));
+  const IdAnnotatedPlan a = InferIds(p, db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()), (std::vector<std::string>{"pid"}));
+}
+
+TEST_F(IdInferenceTest, ProjectionExtendedWithMissingIds) {
+  // π_price drops the key: Pass 1 must extend the plan ("idIVM
+  // automatically extends the plan to include the required ID attributes").
+  const PlanPtr p = PlanNode::Project(PlanNode::Scan("parts"),
+                                      {{Col("price"), "price"}});
+  const IdAnnotatedPlan a = InferIds(p, db_);
+  const Schema schema = InferSchema(a.plan, db_);
+  EXPECT_TRUE(schema.HasColumn("pid"));
+  EXPECT_EQ(a.IdsOf(a.plan.get()), (std::vector<std::string>{"pid"}));
+}
+
+TEST_F(IdInferenceTest, ProjectionRenamedIdTracked) {
+  const PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("parts"),
+      {{Col("pid"), "part"}, {Col("price"), "price"}});
+  const IdAnnotatedPlan a = InferIds(p, db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()), (std::vector<std::string>{"part"}));
+  // No extension needed: schema unchanged.
+  EXPECT_EQ(InferSchema(a.plan, db_).num_columns(), 2u);
+}
+
+TEST_F(IdInferenceTest, RunningExampleViewIds) {
+  // The Example 2.1 result: V has IDs {did, pid} despite three base tables.
+  const IdAnnotatedPlan a =
+      InferIds(testing::RunningExampleSpjPlan(db_), db_);
+  const std::vector<std::string> ids = a.IdsOf(a.plan.get());
+  EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()),
+            (std::set<std::string>{"did", "pid"}));
+}
+
+TEST_F(IdInferenceTest, AggregateIdsAreGroupBy) {
+  const IdAnnotatedPlan a =
+      InferIds(testing::RunningExampleAggPlan(db_), db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()), (std::vector<std::string>{"did"}));
+}
+
+TEST_F(IdInferenceTest, SemiAndAntiSemiKeepLeftIds) {
+  const PlanPtr renamed = PlanNode::Project(
+      PlanNode::Scan("devices"),
+      {{Col("did"), "ddid"}, {Col("category"), "category"}});
+  const PlanPtr anti = PlanNode::AntiSemiJoin(
+      PlanNode::Scan("devices_parts"), renamed, Eq(Col("did"), Col("ddid")));
+  const IdAnnotatedPlan a = InferIds(anti, db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()),
+            (std::vector<std::string>{"did", "pid"}));
+}
+
+TEST_F(IdInferenceTest, UnionAllAddsBranchToIds) {
+  const PlanPtr left = PlanNode::Project(PlanNode::Scan("parts"),
+                                         {{Col("pid"), "pid"}});
+  const PlanPtr u = PlanNode::UnionAll(left, left, "b");
+  const IdAnnotatedPlan a = InferIds(u, db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()), (std::vector<std::string>{"pid", "b"}));
+}
+
+TEST_F(IdInferenceTest, EquiJoinDeduplicatesKeyComponents) {
+  // Natural-join style: the right key equated to a left column is not
+  // duplicated in the output ID.
+  const PlanPtr renamed = PlanNode::Project(
+      PlanNode::Scan("parts"),
+      {{Col("pid"), "ppid"}, {Col("price"), "price"}});
+  const PlanPtr join = PlanNode::Join(PlanNode::Scan("devices_parts"),
+                                      renamed, Eq(Col("pid"), Col("ppid")));
+  const IdAnnotatedPlan a = InferIds(join, db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()),
+            (std::vector<std::string>{"did", "pid"}));
+}
+
+TEST_F(IdInferenceTest, ThetaJoinUnionsIds) {
+  const PlanPtr renamed = PlanNode::Project(
+      PlanNode::Scan("parts"),
+      {{Col("pid"), "ppid"}, {Col("price"), "price"}});
+  const PlanPtr join =
+      PlanNode::Join(PlanNode::Scan("devices_parts"), renamed,
+                     Lt(Col("pid"), Col("ppid")));
+  const IdAnnotatedPlan a = InferIds(join, db_);
+  EXPECT_EQ(a.IdsOf(a.plan.get()),
+            (std::vector<std::string>{"did", "pid", "ppid"}));
+}
+
+}  // namespace
+}  // namespace idivm

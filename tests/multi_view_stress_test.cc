@@ -1,0 +1,206 @@
+// Soak test: a dozen views of different shapes registered in one
+// ViewManager over one database, maintained together through many random
+// modification batches — exercising cross-view interactions (shared
+// modification log, coexisting caches and opcaches, per-view scripts) that
+// the single-view property tests cannot reach.
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/view_manager.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+class MultiViewStressTest : public ::testing::Test {
+ protected:
+  void LoadData(uint64_t seed) {
+    Rng rng(seed);
+    Table& r = db_.CreateTable("r", Schema({{"rid", DataType::kInt64},
+                                            {"rb", DataType::kInt64},
+                                            {"rc", DataType::kDouble},
+                                            {"rs", DataType::kString}}),
+                               {"rid"});
+    Relation r_data(r.schema());
+    for (int64_t i = 0; i < 60; ++i) {
+      r_data.Append({Value(i), Value(rng.UniformInt(0, 7)),
+                     Value(static_cast<double>(rng.UniformInt(0, 50))),
+                     Value(rng.Bernoulli(0.5) ? "x" : "y")});
+    }
+    r.BulkLoadUncounted(r_data);
+    next_rid_ = 60;
+
+    Table& s = db_.CreateTable(
+        "s", Schema({{"sid", DataType::kInt64}, {"se", DataType::kDouble}}),
+        {"sid"});
+    Relation s_data(s.schema());
+    for (int64_t i = 0; i < 8; ++i) {
+      s_data.Append(
+          {Value(i), Value(static_cast<double>(rng.UniformInt(0, 20)))});
+    }
+    s.BulkLoadUncounted(s_data);
+
+    Table& t = db_.CreateTable("t", Schema({{"tid", DataType::kInt64},
+                                            {"tb", DataType::kInt64},
+                                            {"tw", DataType::kDouble}}),
+                               {"tid"});
+    Relation t_data(t.schema());
+    for (int64_t i = 0; i < 30; ++i) {
+      t_data.Append({Value(i), Value(rng.UniformInt(0, 7)),
+                     Value(static_cast<double>(rng.UniformInt(0, 30)))});
+    }
+    t.BulkLoadUncounted(t_data);
+    next_tid_ = 30;
+  }
+
+  void DefineAllViews(ViewManager* manager) {
+    manager->DefineView(
+        "v_sel", PlanNode::Select(PlanNode::Scan("r"),
+                                  Gt(Col("rc"), Lit(Value(20.0)))));
+    manager->DefineView(
+        "v_proj",
+        PlanNode::Project(PlanNode::Scan("r"),
+                          {{Col("rid"), "rid"},
+                           {Add(Col("rc"), Col("rb")), "score"}}));
+    manager->DefineView("v_join",
+                        PlanNode::Join(PlanNode::Scan("r"),
+                                       PlanNode::Scan("s"),
+                                       Eq(Col("rb"), Col("sid"))));
+    manager->DefineView(
+        "v_agg", PlanNode::Aggregate(PlanNode::Scan("r"), {"rb"},
+                                     {{AggFunc::kSum, Col("rc"), "total"},
+                                      {AggFunc::kCount, nullptr, "n"}}));
+    manager->DefineView(
+        "v_avg", PlanNode::Aggregate(PlanNode::Scan("r"), {"rs"},
+                                     {{AggFunc::kAvg, Col("rc"), "mean"}}));
+    manager->DefineView(
+        "v_agg_join",
+        PlanNode::Aggregate(PlanNode::Join(PlanNode::Scan("r"),
+                                           PlanNode::Scan("s"),
+                                           Eq(Col("rb"), Col("sid"))),
+                            {"sid"},
+                            {{AggFunc::kSum, Mul(Col("rc"), Col("se")),
+                              "weighted"}}));
+    manager->DefineView(
+        "v_anti",
+        PlanNode::AntiSemiJoin(
+            PlanNode::Scan("r"), PlanNode::Scan("t"),
+            And(Eq(Col("rb"), Col("tb")), Gt(Col("tw"), Lit(Value(15.0))))));
+    manager->DefineView(
+        "v_minmax",
+        PlanNode::Aggregate(PlanNode::Scan("t"), {"tb"},
+                            {{AggFunc::kMin, Col("tw"), "lo"},
+                             {AggFunc::kMax, Col("tw"), "hi"}}));
+  }
+
+  void RandomBatch(ViewManager* manager, Rng* rng) {
+    const int ops = static_cast<int>(rng->UniformInt(4, 12));
+    for (int i = 0; i < ops; ++i) {
+      switch (rng->UniformInt(0, 7)) {
+        case 0:
+          manager->Insert("r", {Value(next_rid_++),
+                                Value(rng->UniformInt(0, 7)),
+                                Value(static_cast<double>(
+                                    rng->UniformInt(0, 50))),
+                                Value(rng->Bernoulli(0.5) ? "x" : "y")});
+          break;
+        case 1:
+          manager->Delete("r", {Value(rng->UniformInt(0, next_rid_ - 1))});
+          break;
+        case 2:
+        case 3:
+          manager->Update("r", {Value(rng->UniformInt(0, next_rid_ - 1))},
+                          {"rc"},
+                          {Value(static_cast<double>(
+                              rng->UniformInt(0, 50)))});
+          break;
+        case 4:
+          manager->Update("r", {Value(rng->UniformInt(0, next_rid_ - 1))},
+                          {"rb"}, {Value(rng->UniformInt(0, 7))});
+          break;
+        case 5:
+          manager->Update("s", {Value(rng->UniformInt(0, 7))}, {"se"},
+                          {Value(static_cast<double>(
+                              rng->UniformInt(0, 20)))});
+          break;
+        case 6:
+          manager->Insert("t", {Value(next_tid_++),
+                                Value(rng->UniformInt(0, 7)),
+                                Value(static_cast<double>(
+                                    rng->UniformInt(0, 30)))});
+          break;
+        case 7:
+          manager->Update("t", {Value(rng->UniformInt(0, next_tid_ - 1))},
+                          {"tw"},
+                          {Value(static_cast<double>(
+                              rng->UniformInt(0, 30)))});
+          break;
+      }
+    }
+  }
+
+  void CheckAllViews(ViewManager* manager, int round) {
+    for (const std::string& name : manager->ViewNames()) {
+      testing::ExpectViewMatchesRecompute(
+          &db_, manager->GetView(name).view().plan, name,
+          name + " after round " + std::to_string(round));
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+
+  Database db_;
+  int64_t next_rid_ = 0;
+  int64_t next_tid_ = 0;
+};
+
+TEST_F(MultiViewStressTest, DeferredSoak) {
+  LoadData(101);
+  ViewManager manager(&db_);
+  DefineAllViews(&manager);
+  Rng rng(202);
+  for (int round = 0; round < 12; ++round) {
+    RandomBatch(&manager, &rng);
+    manager.Refresh();
+    CheckAllViews(&manager, round);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST_F(MultiViewStressTest, EagerSoak) {
+  LoadData(303);
+  ViewManager manager(&db_, RefreshMode::kEager);
+  DefineAllViews(&manager);
+  Rng rng(404);
+  for (int round = 0; round < 4; ++round) {
+    RandomBatch(&manager, &rng);  // every op refreshes immediately
+    CheckAllViews(&manager, round);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST_F(MultiViewStressTest, SoakSurvivesRepositoryReload) {
+  LoadData(505);
+  std::string dump;
+  {
+    ViewManager manager(&db_);
+    DefineAllViews(&manager);
+    Rng rng(606);
+    for (int round = 0; round < 3; ++round) {
+      RandomBatch(&manager, &rng);
+      manager.Refresh();
+    }
+    dump = manager.SerializeRepository();
+  }
+  ViewManager reloaded(&db_);
+  ASSERT_TRUE(reloaded.LoadRepository(dump).empty());
+  Rng rng(707);
+  for (int round = 0; round < 3; ++round) {
+    RandomBatch(&reloaded, &rng);
+    reloaded.Refresh();
+    CheckAllViews(&reloaded, round);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,133 @@
+// Unit tests for algebra plans: construction, schema inference, natural-join
+// desugaring, helpers.
+
+#include "gtest/gtest.h"
+#include "src/algebra/plan.h"
+#include "src/algebra/plan_printer.h"
+
+namespace idivm {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest() {
+    db_.CreateTable("r", Schema({{"rid", DataType::kInt64},
+                                 {"k", DataType::kInt64},
+                                 {"v", DataType::kDouble}}),
+                    {"rid"});
+    db_.CreateTable("s", Schema({{"sid", DataType::kInt64},
+                                 {"k", DataType::kInt64},
+                                 {"w", DataType::kString}}),
+                    {"sid"});
+  }
+  Database db_;
+};
+
+TEST_F(PlanTest, ScanSchema) {
+  EXPECT_EQ(InferSchema(PlanNode::Scan("r"), db_).ColumnNames(),
+            (std::vector<std::string>{"rid", "k", "v"}));
+}
+
+TEST_F(PlanTest, SelectKeepsSchema) {
+  const PlanPtr p = PlanNode::Select(PlanNode::Scan("r"),
+                                     Gt(Col("v"), Lit(Value(1.0))));
+  EXPECT_EQ(InferSchema(p, db_).num_columns(), 3u);
+}
+
+TEST_F(PlanTest, SelectRejectsUnknownColumn) {
+  const PlanPtr p = PlanNode::Select(PlanNode::Scan("r"),
+                                     Gt(Col("zzz"), Lit(Value(1.0))));
+  EXPECT_DEATH(InferSchema(p, db_), "unknown column");
+}
+
+TEST_F(PlanTest, ProjectTypes) {
+  const PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("r"),
+      {{Col("rid"), "rid"},
+       {Add(Col("rid"), Lit(Value(int64_t{1}))), "next"},
+       {Div(Col("v"), Lit(Value(2.0))), "half"},
+       {Gt(Col("v"), Lit(Value(0.0))), "flag"}});
+  const Schema s = InferSchema(p, db_);
+  EXPECT_EQ(s.column(1).type, DataType::kInt64);   // int + int
+  EXPECT_EQ(s.column(2).type, DataType::kDouble);  // division
+  EXPECT_EQ(s.column(3).type, DataType::kInt64);   // boolean
+}
+
+TEST_F(PlanTest, JoinConcatenatesAndRejectsCollisions) {
+  const PlanPtr renamed = PlanNode::Project(
+      PlanNode::Scan("s"),
+      {{Col("sid"), "sid"}, {Col("k"), "sk"}, {Col("w"), "w"}});
+  const PlanPtr join =
+      PlanNode::Join(PlanNode::Scan("r"), renamed, Eq(Col("k"), Col("sk")));
+  EXPECT_EQ(InferSchema(join, db_).num_columns(), 6u);
+  // Direct join collides on "k".
+  const PlanPtr bad =
+      PlanNode::Join(PlanNode::Scan("r"), PlanNode::Scan("s"),
+                     Eq(Col("rid"), Col("sid")));
+  EXPECT_DEATH(InferSchema(bad, db_), "duplicate column");
+}
+
+TEST_F(PlanTest, SemiJoinKeepsLeftSchema) {
+  const PlanPtr renamed = PlanNode::Project(
+      PlanNode::Scan("s"), {{Col("sid"), "sid"}, {Col("k"), "sk"}});
+  const PlanPtr semi = PlanNode::SemiJoin(PlanNode::Scan("r"), renamed,
+                                          Eq(Col("k"), Col("sk")));
+  EXPECT_EQ(InferSchema(semi, db_).ColumnNames(),
+            (std::vector<std::string>{"rid", "k", "v"}));
+}
+
+TEST_F(PlanTest, UnionAllAddsBranchColumn) {
+  const PlanPtr left = PlanNode::Project(PlanNode::Scan("r"),
+                                         {{Col("rid"), "id"}});
+  const PlanPtr right = PlanNode::Project(PlanNode::Scan("s"),
+                                          {{Col("sid"), "id"}});
+  const PlanPtr u = PlanNode::UnionAll(left, right, "b");
+  EXPECT_EQ(InferSchema(u, db_).ColumnNames(),
+            (std::vector<std::string>{"id", "b"}));
+}
+
+TEST_F(PlanTest, AggregateSchema) {
+  const PlanPtr agg = PlanNode::Aggregate(
+      PlanNode::Scan("r"), {"k"},
+      {{AggFunc::kSum, Col("v"), "total"},
+       {AggFunc::kCount, nullptr, "n"},
+       {AggFunc::kAvg, Col("v"), "mean"}});
+  const Schema s = InferSchema(agg, db_);
+  EXPECT_EQ(s.ColumnNames(),
+            (std::vector<std::string>{"k", "total", "n", "mean"}));
+  EXPECT_EQ(s.column(1).type, DataType::kDouble);
+  EXPECT_EQ(s.column(2).type, DataType::kInt64);
+  EXPECT_EQ(s.column(3).type, DataType::kDouble);
+}
+
+TEST_F(PlanTest, NaturalJoinSharesColumnsOnce) {
+  const PlanPtr nj =
+      NaturalJoin(PlanNode::Scan("r"), PlanNode::Scan("s"), db_);
+  EXPECT_EQ(InferSchema(nj, db_).ColumnNames(),
+            (std::vector<std::string>{"rid", "k", "v", "sid", "w"}));
+}
+
+TEST_F(PlanTest, CollectScansAndTransient) {
+  const PlanPtr nj =
+      NaturalJoin(PlanNode::Scan("r"), PlanNode::Scan("s"), db_);
+  EXPECT_EQ(CollectScans(nj).size(), 2u);
+  EXPECT_FALSE(IsTransientOnly(nj));
+  const PlanPtr ref = PlanNode::RelationRef(
+      "d", Schema({{"x", DataType::kInt64}}));
+  EXPECT_TRUE(IsTransientOnly(PlanNode::Select(ref, Col("x"))));
+  EXPECT_TRUE(IsTransientOnly(PlanNode::Materialize(nj)));
+}
+
+TEST_F(PlanTest, PrinterShowsStructure) {
+  const PlanPtr p = PlanNode::Aggregate(
+      PlanNode::Select(PlanNode::Scan("r"), Gt(Col("v"), Lit(Value(1.0)))),
+      {"k"}, {{AggFunc::kSum, Col("v"), "t"}});
+  const std::string one_line = PlanToString(p);
+  EXPECT_NE(one_line.find("γ"), std::string::npos);
+  EXPECT_NE(one_line.find("SCAN r"), std::string::npos);
+  const std::string tree = PlanToTreeString(p);
+  EXPECT_NE(tree.find("σ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,78 @@
+// Unit tests for Relation: bag semantics, sorting, equality, row helpers.
+
+#include "gtest/gtest.h"
+#include "src/types/relation.h"
+
+namespace idivm {
+namespace {
+
+Schema TwoCol() {
+  return Schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+}
+
+TEST(RelationTest, AppendAndSize) {
+  Relation r(TwoCol());
+  EXPECT_TRUE(r.empty());
+  r.Append({Value(int64_t{1}), Value("a")});
+  r.Append({Value(int64_t{2}), Value("b")});
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationDeathTest, ArityChecked) {
+  Relation r(TwoCol());
+  EXPECT_DEATH(r.Append({Value(int64_t{1})}), "arity");
+}
+
+TEST(RelationTest, BagEqualsIgnoresOrderRespectsMultiplicity) {
+  Relation a(TwoCol(), {{Value(int64_t{1}), Value("x")},
+                        {Value(int64_t{2}), Value("y")},
+                        {Value(int64_t{1}), Value("x")}});
+  Relation b(TwoCol(), {{Value(int64_t{2}), Value("y")},
+                        {Value(int64_t{1}), Value("x")},
+                        {Value(int64_t{1}), Value("x")}});
+  EXPECT_TRUE(a.BagEquals(b));
+  // Drop one duplicate: multiplicities differ.
+  Relation c(TwoCol(), {{Value(int64_t{1}), Value("x")},
+                        {Value(int64_t{2}), Value("y")}});
+  EXPECT_FALSE(a.BagEquals(c));
+}
+
+TEST(RelationTest, BagEqualsChecksColumnNames) {
+  Relation a(TwoCol());
+  Relation b(Schema({{"k", DataType::kInt64}, {"w", DataType::kString}}));
+  EXPECT_FALSE(a.BagEquals(b));
+}
+
+TEST(RelationTest, SortedIsStableAndLexicographic) {
+  Relation r(TwoCol(), {{Value(int64_t{2}), Value("b")},
+                        {Value(int64_t{1}), Value("z")},
+                        {Value(int64_t{1}), Value("a")}});
+  const Relation s = r.Sorted();
+  EXPECT_EQ(s.rows()[0][1].AsString(), "a");
+  EXPECT_EQ(s.rows()[1][1].AsString(), "z");
+  EXPECT_EQ(s.rows()[2][0].AsInt64(), 2);
+}
+
+TEST(RowHelpersTest, ProjectAndHashAndCompare) {
+  const Row row = {Value(int64_t{1}), Value("a"), Value(3.5)};
+  EXPECT_EQ(ProjectRow(row, {2, 0}),
+            (Row{Value(3.5), Value(int64_t{1})}));
+  EXPECT_EQ(HashRowKey(row, {0}), HashRowKey({Value(1.0)}, {0}));
+  EXPECT_EQ(CompareRows({Value(int64_t{1})}, {Value(int64_t{1})}), 0);
+  EXPECT_LT(CompareRows({Value(int64_t{1})}, {Value(int64_t{2})}), 0);
+  // Prefix rows compare shorter-first.
+  EXPECT_LT(CompareRows({Value(int64_t{1})},
+                        {Value(int64_t{1}), Value(int64_t{0})}),
+            0);
+}
+
+TEST(RelationTest, ToStringRendersTable) {
+  Relation r(TwoCol(), {{Value(int64_t{10}), Value("hi")}});
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("| k "), std::string::npos);
+  EXPECT_NE(s.find("| 10"), std::string::npos);
+  EXPECT_NE(s.find("hi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idivm

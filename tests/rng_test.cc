@@ -1,0 +1,85 @@
+// Unit tests for the deterministic RNG used by workloads and property tests.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+
+namespace idivm {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_GT(hits, 350);
+  EXPECT_LT(hits, 650);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(17);
+  const std::vector<size_t> sample = rng.SampleIndices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t idx : sample) EXPECT_LT(idx, 50u);
+  // Full sample is a permutation.
+  const std::vector<size_t> all = rng.SampleIndices(5, 5);
+  EXPECT_EQ(std::set<size_t>(all.begin(), all.end()).size(), 5u);
+}
+
+TEST(RngTest, PickFrom) {
+  Rng rng(19);
+  const std::vector<std::string> items = {"a", "b", "c"};
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.PickFrom(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace idivm

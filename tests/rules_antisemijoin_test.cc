@@ -1,0 +1,188 @@
+// Unit tests for the antisemijoin rules (Table 13): the inverse flow of
+// right-side changes (inserts delete, deletes insert), and left-side
+// behaviour matching selection-like filtering.
+
+#include "gtest/gtest.h"
+#include "src/algebra/plan_printer.h"
+#include "src/core/rules.h"
+
+namespace idivm {
+namespace {
+
+class RulesAntiTest : public ::testing::Test {
+ protected:
+  RulesAntiTest() {
+    db_.CreateTable("l", Schema({{"lid", DataType::kInt64},
+                                 {"k", DataType::kInt64},
+                                 {"v", DataType::kDouble}}),
+                    {"lid"});
+    db_.CreateTable("s", Schema({{"sid", DataType::kInt64},
+                                 {"sk", DataType::kInt64},
+                                 {"w", DataType::kDouble}}),
+                    {"sid"});
+    plan_ = PlanNode::AntiSemiJoin(
+        PlanNode::Scan("l"), PlanNode::Scan("s"),
+        And(Eq(Col("k"), Col("sk")), Gt(Col("w"), Lit(Value(1.0)))));
+  }
+
+  RuleContext MakeContext() {
+    RuleContext ctx;
+    ctx.op = plan_.get();
+    ctx.db = &db_;
+    ctx.node_name = "anti";
+    ctx.output_schema = db_.GetTable("l").schema();
+    ctx.output_ids = {"lid"};
+    ctx.input_post = {PlanNode::Scan("l"), PlanNode::Scan("s")};
+    ctx.input_pre = {PlanNode::Scan("l", StateTag::kPre),
+                     PlanNode::Scan("s", StateTag::kPre)};
+    ctx.input_schemas = {db_.GetTable("l").schema(),
+                         db_.GetTable("s").schema()};
+    ctx.input_ids = {{"lid"}, {"sid"}};
+    return ctx;
+  }
+
+  Database db_;
+  PlanPtr plan_;
+};
+
+TEST_F(RulesAntiTest, LeftInsertAntiFiltered) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kInsert, "l", db_.GetTable("l").schema(),
+                        {"lid"}, {}, {"k", "v"});
+  const auto out = PropagateThroughAntiSemiJoin(ctx, "d", diff, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+  EXPECT_NE(PlanToString(out[0].query).find("⋉̄"), std::string::npos);
+}
+
+TEST_F(RulesAntiTest, LeftDeletePassesThrough) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kDelete, "l", db_.GetTable("l").schema(),
+                        {"lid"}, {"k", "v"}, {});
+  const auto out = PropagateThroughAntiSemiJoin(ctx, "d", diff, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kDelete);
+  EXPECT_TRUE(IsTransientOnly(out[0].query));
+}
+
+TEST_F(RulesAntiTest, LeftNonConditionalUpdatePasses) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kUpdate, "l", db_.GetTable("l").schema(),
+                        {"lid"}, {"k", "v"}, {"v"});
+  const auto out = PropagateThroughAntiSemiJoin(ctx, "d", diff, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kUpdate);
+  EXPECT_TRUE(IsTransientOnly(out[0].query));
+}
+
+TEST_F(RulesAntiTest, RightInsertDeletesFromView) {
+  // New right tuples knock left tuples out (the inverse flow).
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kInsert, "s", db_.GetTable("s").schema(),
+                        {"sid"}, {}, {"sk", "w"});
+  const auto out = PropagateThroughAntiSemiJoin(ctx, "d", diff, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kDelete);
+  EXPECT_EQ(out[0].schema.id_columns(), (std::vector<std::string>{"lid"}));
+}
+
+TEST_F(RulesAntiTest, RightDeleteReadmitsLeftTuples) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kDelete, "s", db_.GetTable("s").schema(),
+                        {"sid"}, {"sk", "w"}, {});
+  const auto out = PropagateThroughAntiSemiJoin(ctx, "d", diff, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+  // Re-admission must verify no OTHER right tuple still blocks.
+  EXPECT_NE(PlanToString(out[0].query).find("⋉̄"), std::string::npos);
+}
+
+TEST_F(RulesAntiTest, RightConditionalUpdateProducesBoth) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kUpdate, "s", db_.GetTable("s").schema(),
+                        {"sid"}, {"sk", "w"}, {"w"});
+  const auto out = PropagateThroughAntiSemiJoin(ctx, "d", diff, 1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kDelete);
+  EXPECT_EQ(out[1].schema.type(), DiffType::kInsert);
+}
+
+// ---- semijoin (⋉) — the existential dual ----
+
+class RulesSemiTest : public RulesAntiTest {
+ protected:
+  RuleContext MakeSemiContext() {
+    semi_plan_ = PlanNode::SemiJoin(
+        PlanNode::Scan("l"), PlanNode::Scan("s"),
+        And(Eq(Col("k"), Col("sk")), Gt(Col("w"), Lit(Value(1.0)))));
+    RuleContext ctx = MakeContext();
+    ctx.op = semi_plan_.get();
+    return ctx;
+  }
+  PlanPtr semi_plan_;
+};
+
+TEST_F(RulesSemiTest, LeftInsertFiltered) {
+  RuleContext ctx = MakeSemiContext();
+  const DiffSchema diff(DiffType::kInsert, "l", db_.GetTable("l").schema(),
+                        {"lid"}, {}, {"k", "v"});
+  const auto out = PropagateThroughSemiJoin(ctx, "d", diff, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+  EXPECT_NE(PlanToString(out[0].query).find("⋉["), std::string::npos);
+}
+
+TEST_F(RulesSemiTest, RightInsertAdmitsLeftRows) {
+  // Inverse of the antisemijoin: new witnesses INSERT into the view.
+  RuleContext ctx = MakeSemiContext();
+  const DiffSchema diff(DiffType::kInsert, "s", db_.GetTable("s").schema(),
+                        {"sid"}, {}, {"sk", "w"});
+  const auto out = PropagateThroughSemiJoin(ctx, "d", diff, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+}
+
+TEST_F(RulesSemiTest, RightDeleteMayOrphanLeftRows) {
+  RuleContext ctx = MakeSemiContext();
+  const DiffSchema diff(DiffType::kDelete, "s", db_.GetTable("s").schema(),
+                        {"sid"}, {"sk", "w"}, {});
+  const auto out = PropagateThroughSemiJoin(ctx, "d", diff, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kDelete);
+  // Orphan check must verify no OTHER witness remains.
+  EXPECT_NE(PlanToString(out[0].query).find("⋉̄"), std::string::npos);
+}
+
+TEST_F(RulesSemiTest, LeftNonConditionalUpdatePasses) {
+  RuleContext ctx = MakeSemiContext();
+  const DiffSchema diff(DiffType::kUpdate, "l", db_.GetTable("l").schema(),
+                        {"lid"}, {"k", "v"}, {"v"});
+  const auto out = PropagateThroughSemiJoin(ctx, "d", diff, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kUpdate);
+  EXPECT_TRUE(IsTransientOnly(out[0].query));
+}
+
+TEST_F(RulesAntiTest, RightNonConditionalUpdateNotTriggered) {
+  // w is in the condition; use a wider s with an untouched payload column.
+  db_.CreateTable("s2", Schema({{"sid", DataType::kInt64},
+                                {"sk", DataType::kInt64},
+                                {"w", DataType::kDouble},
+                                {"note", DataType::kString}}),
+                  {"sid"});
+  PlanPtr plan = PlanNode::AntiSemiJoin(
+      PlanNode::Scan("l"), PlanNode::Scan("s2"),
+      And(Eq(Col("k"), Col("sk")), Gt(Col("w"), Lit(Value(1.0)))));
+  RuleContext ctx = MakeContext();
+  ctx.op = plan.get();
+  ctx.input_post[1] = PlanNode::Scan("s2");
+  ctx.input_pre[1] = PlanNode::Scan("s2", StateTag::kPre);
+  ctx.input_schemas[1] = db_.GetTable("s2").schema();
+  const DiffSchema diff(DiffType::kUpdate, "s2",
+                        db_.GetTable("s2").schema(), {"sid"},
+                        {"sk", "w", "note"}, {"note"});
+  EXPECT_TRUE(PropagateThroughAntiSemiJoin(ctx, "d", diff, 1).empty());
+}
+
+}  // namespace
+}  // namespace idivm

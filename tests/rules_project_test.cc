@@ -1,0 +1,108 @@
+// Unit tests for the generalized-projection rules (Table 8): function
+// mapping, the "not triggered" case, σ_isupd, and key widening for
+// Input-dependent items.
+
+#include "gtest/gtest.h"
+#include "src/algebra/plan_printer.h"
+#include "src/core/rules.h"
+
+namespace idivm {
+namespace {
+
+class RulesProjectTest : public ::testing::Test {
+ protected:
+  RulesProjectTest() {
+    db_.CreateTable("r", Schema({{"id", DataType::kInt64},
+                                 {"a", DataType::kDouble},
+                                 {"b", DataType::kDouble}}),
+                    {"id"});
+  }
+
+  RuleContext MakeContext(std::vector<ProjectItem> items) {
+    plan_ = PlanNode::Project(PlanNode::Scan("r"), std::move(items));
+    RuleContext ctx;
+    ctx.op = plan_.get();
+    ctx.db = &db_;
+    ctx.node_name = "proj";
+    ctx.output_schema = InferSchema(plan_, db_);
+    ctx.output_ids = {"id"};
+    ctx.input_post = {PlanNode::Scan("r")};
+    ctx.input_pre = {PlanNode::Scan("r", StateTag::kPre)};
+    ctx.input_schemas = {db_.GetTable("r").schema()};
+    ctx.input_ids = {{"id"}};
+    return ctx;
+  }
+
+  Database db_;
+  PlanPtr plan_;
+};
+
+TEST_F(RulesProjectTest, UpdateOnProjectedOutAttrNotTriggered) {
+  // π keeps id and a; updating b produces NO diff at all.
+  RuleContext ctx = MakeContext({{Col("id"), "id"}, {Col("a"), "a"}});
+  const DiffSchema diff(DiffType::kUpdate, "r", db_.GetTable("r").schema(),
+                        {"id"}, {"a", "b"}, {"b"});
+  EXPECT_TRUE(PropagateThroughProject(ctx, "d", diff).empty());
+}
+
+TEST_F(RulesProjectTest, FunctionComputedFromDiff) {
+  RuleContext ctx = MakeContext(
+      {{Col("id"), "id"}, {Mul(Col("a"), Lit(Value(2.0))), "double_a"}});
+  const DiffSchema diff(DiffType::kUpdate, "r", db_.GetTable("r").schema(),
+                        {"id"}, {"a", "b"}, {"a"});
+  const auto out = PropagateThroughProject(ctx, "d", diff);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.post_columns(),
+            (std::vector<std::string>{"double_a"}));
+  EXPECT_TRUE(IsTransientOnly(out[0].query));
+  // σ_isupd guards against no-op function results.
+  EXPECT_NE(PlanToString(out[0].query).find("isnull"), std::string::npos);
+}
+
+TEST_F(RulesProjectTest, MixedFunctionNeedsInputAndWidensKey) {
+  // score = a + b; diff updates a but carries no b: Input_post join needed
+  // and the output diff must be keyed by the full ID.
+  RuleContext ctx = MakeContext(
+      {{Col("id"), "id"}, {Add(Col("a"), Col("b")), "score"}});
+  const DiffSchema diff(DiffType::kUpdate, "r", db_.GetTable("r").schema(),
+                        {"id"}, {"a"}, {"a"});
+  const auto out = PropagateThroughProject(ctx, "d", diff);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(IsTransientOnly(out[0].query));
+  EXPECT_EQ(out[0].schema.id_columns(), (std::vector<std::string>{"id"}));
+}
+
+TEST_F(RulesProjectTest, InsertMapsAllItems) {
+  RuleContext ctx = MakeContext(
+      {{Col("id"), "id"}, {Add(Col("a"), Col("b")), "score"}});
+  const DiffSchema diff(DiffType::kInsert, "r", db_.GetTable("r").schema(),
+                        {"id"}, {}, {"a", "b"});
+  const auto out = PropagateThroughProject(ctx, "d", diff);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+  EXPECT_TRUE(IsTransientOnly(out[0].query));
+}
+
+TEST_F(RulesProjectTest, DeleteCarriesRecoverablePre) {
+  RuleContext ctx = MakeContext(
+      {{Col("id"), "id"}, {Mul(Col("a"), Lit(Value(3.0))), "a3"}});
+  const DiffSchema diff(DiffType::kDelete, "r", db_.GetTable("r").schema(),
+                        {"id"}, {"a", "b"}, {});
+  const auto out = PropagateThroughProject(ctx, "d", diff);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.pre_columns(), (std::vector<std::string>{"a3"}));
+}
+
+TEST_F(RulesProjectTest, RenamedKeyMapsThrough) {
+  RuleContext ctx = MakeContext(
+      {{Col("id"), "ident"}, {Col("a"), "a"}});
+  ctx.output_ids = {"ident"};
+  const DiffSchema diff(DiffType::kUpdate, "r", db_.GetTable("r").schema(),
+                        {"id"}, {"a", "b"}, {"a"});
+  const auto out = PropagateThroughProject(ctx, "d", diff);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.id_columns(), (std::vector<std::string>{"ident"}));
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,121 @@
+// Unit tests for the σ propagation rules (Table 6): branch selection
+// (diff-only vs Input-accessing), filter shapes, and produced diff types.
+
+#include "gtest/gtest.h"
+#include "src/algebra/plan_printer.h"
+#include "src/core/rules.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+class RulesSelectTest : public ::testing::Test {
+ protected:
+  RulesSelectTest() {
+    db_.CreateTable("r", Schema({{"id", DataType::kInt64},
+                                 {"a", DataType::kDouble},
+                                 {"b", DataType::kDouble}}),
+                    {"id"});
+  }
+
+  RuleContext MakeContext(const ExprPtr& predicate) {
+    select_plan_ = PlanNode::Select(PlanNode::Scan("r"), predicate);
+    RuleContext ctx;
+    ctx.op = select_plan_.get();
+    ctx.db = &db_;
+    ctx.node_name = "sel";
+    ctx.output_schema = db_.GetTable("r").schema();
+    ctx.output_ids = {"id"};
+    ctx.input_post = {PlanNode::Scan("r")};
+    ctx.input_pre = {PlanNode::Scan("r", StateTag::kPre)};
+    ctx.input_schemas = {db_.GetTable("r").schema()};
+    ctx.input_ids = {{"id"}};
+    return ctx;
+  }
+
+  DiffSchema FullUpdateDiff() {
+    return DiffSchema(DiffType::kUpdate, "r", db_.GetTable("r").schema(),
+                      {"id"}, {"a", "b"}, {"a"});
+  }
+
+  Database db_;
+  PlanPtr select_plan_;
+};
+
+TEST_F(RulesSelectTest, InsertFilteredByPostCondition) {
+  RuleContext ctx = MakeContext(Gt(Col("a"), Lit(Value(1.0))));
+  const DiffSchema ins(DiffType::kInsert, "r", db_.GetTable("r").schema(),
+                       {"id"}, {}, {"a", "b"});
+  const auto out = PropagateThroughSelect(ctx, "d", ins);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+  EXPECT_NE(PlanToString(out[0].query).find("a__post"), std::string::npos);
+  EXPECT_TRUE(IsTransientOnly(out[0].query));  // no base accesses
+}
+
+TEST_F(RulesSelectTest, DeleteBlueOptimizationUsesPre) {
+  RuleContext ctx = MakeContext(Gt(Col("a"), Lit(Value(1.0))));
+  const DiffSchema del(DiffType::kDelete, "r", db_.GetTable("r").schema(),
+                       {"id"}, {"a", "b"}, {});
+  const auto out = PropagateThroughSelect(ctx, "d", del);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(PlanToString(out[0].query).find("a__pre"), std::string::npos);
+}
+
+TEST_F(RulesSelectTest, DeleteWithoutPrePassesThrough) {
+  RuleContext ctx = MakeContext(Gt(Col("a"), Lit(Value(1.0))));
+  const DiffSchema del(DiffType::kDelete, "r", db_.GetTable("r").schema(),
+                       {"id"}, {}, {});
+  const auto out = PropagateThroughSelect(ctx, "d", del);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query->kind(), PlanKind::kRelationRef);  // pass-through
+}
+
+TEST_F(RulesSelectTest, NonConditionalUpdateStaysSingleUpdate) {
+  // Condition on b, update on a: only a ∆u comes out (the idIVM fast path).
+  RuleContext ctx = MakeContext(Gt(Col("b"), Lit(Value(1.0))));
+  const auto out = PropagateThroughSelect(ctx, "d", FullUpdateDiff());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kUpdate);
+  EXPECT_TRUE(IsTransientOnly(out[0].query));
+}
+
+TEST_F(RulesSelectTest, ConditionalUpdateSplitsThreeWays) {
+  // Condition on a, update on a: ∆u + ∆+ + ∆− (Table 6's full split).
+  RuleContext ctx = MakeContext(Gt(Col("a"), Lit(Value(1.0))));
+  const auto out = PropagateThroughSelect(ctx, "d", FullUpdateDiff());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kUpdate);
+  EXPECT_EQ(out[1].schema.type(), DiffType::kInsert);
+  EXPECT_EQ(out[2].schema.type(), DiffType::kDelete);
+  // Diff covers the full row: all three branches avoid base accesses.
+  for (const PropagatedDiff& p : out) {
+    EXPECT_TRUE(IsTransientOnly(p.query)) << p.rule_description;
+  }
+}
+
+TEST_F(RulesSelectTest, NarrowDiffFallsBackToInput) {
+  // A diff keyed on a strict subset of the row (no b value): the insert
+  // branch must consult Input_post for full tuples.
+  RuleContext ctx = MakeContext(Gt(Col("a"), Lit(Value(1.0))));
+  const DiffSchema narrow(DiffType::kUpdate, "r",
+                          db_.GetTable("r").schema(), {"id"}, {}, {"a"});
+  const auto out = PropagateThroughSelect(ctx, "d", narrow);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FALSE(IsTransientOnly(out[1].query));  // insert reads Input_post
+}
+
+TEST_F(RulesSelectTest, AblationForcesGeneralBranches) {
+  RuleContext ctx = MakeContext(Gt(Col("a"), Lit(Value(1.0))));
+  ctx.options.prefer_diff_only_branches = false;
+  const auto out = PropagateThroughSelect(ctx, "d", FullUpdateDiff());
+  ASSERT_EQ(out.size(), 3u);
+  int input_accessing = 0;
+  for (const PropagatedDiff& p : out) {
+    if (!IsTransientOnly(p.query)) ++input_accessing;
+  }
+  EXPECT_GE(input_accessing, 2);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,85 @@
+// Unit tests for the union all rules (Table 5): branch tagging and key
+// extension with b.
+
+#include "gtest/gtest.h"
+#include "src/core/rules.h"
+
+namespace idivm {
+namespace {
+
+class RulesUnionTest : public ::testing::Test {
+ protected:
+  RulesUnionTest() {
+    db_.CreateTable("a", Schema({{"id", DataType::kInt64},
+                                 {"v", DataType::kDouble}}),
+                    {"id"});
+    db_.CreateTable("b2", Schema({{"id", DataType::kInt64},
+                                  {"v", DataType::kDouble}}),
+                    {"id"});
+    plan_ = PlanNode::UnionAll(PlanNode::Scan("a"), PlanNode::Scan("b2"),
+                               "b");
+  }
+
+  RuleContext MakeContext() {
+    RuleContext ctx;
+    ctx.op = plan_.get();
+    ctx.db = &db_;
+    ctx.node_name = "u";
+    ctx.output_schema = InferSchema(plan_, db_);
+    ctx.output_ids = {"id", "b"};
+    ctx.input_post = {PlanNode::Scan("a"), PlanNode::Scan("b2")};
+    ctx.input_pre = {PlanNode::Scan("a", StateTag::kPre),
+                     PlanNode::Scan("b2", StateTag::kPre)};
+    ctx.input_schemas = {db_.GetTable("a").schema(),
+                         db_.GetTable("b2").schema()};
+    ctx.input_ids = {{"id"}, {"id"}};
+    return ctx;
+  }
+
+  Database db_;
+  PlanPtr plan_;
+};
+
+TEST_F(RulesUnionTest, UpdateGetsBranchKey) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kUpdate, "a", db_.GetTable("a").schema(),
+                        {"id"}, {"v"}, {"v"});
+  const auto left = PropagateThroughUnionAll(ctx, "d", diff, 0);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].schema.id_columns(),
+            (std::vector<std::string>{"id", "b"}));
+  EXPECT_TRUE(IsTransientOnly(left[0].query));
+
+  // Right-branch diffs get b = 1.
+  const auto right = PropagateThroughUnionAll(ctx, "d", diff, 1);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_NE(right[0].rule_description.find("b→1"), std::string::npos);
+}
+
+TEST_F(RulesUnionTest, InsertCarriesFullOutputKey) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kInsert, "a", db_.GetTable("a").schema(),
+                        {"id"}, {}, {"v"});
+  const auto out = PropagateThroughUnionAll(ctx, "d", diff, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kInsert);
+  EXPECT_EQ(out[0].schema.id_columns(),
+            (std::vector<std::string>{"id", "b"}));
+  // Layout matches the schema: ids (id, b) then v__post.
+  EXPECT_EQ(InferSchema(out[0].query, db_).ColumnNames(),
+            out[0].schema.relation_schema().ColumnNames());
+}
+
+TEST_F(RulesUnionTest, DeletePassesWithBranch) {
+  RuleContext ctx = MakeContext();
+  const DiffSchema diff(DiffType::kDelete, "b2",
+                        db_.GetTable("b2").schema(), {"id"}, {"v"}, {});
+  const auto out = PropagateThroughUnionAll(ctx, "d", diff, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema.type(), DiffType::kDelete);
+  EXPECT_EQ(InferSchema(out[0].query, db_).ColumnNames(),
+            out[0].schema.relation_schema().ColumnNames());
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,114 @@
+// Unit tests for the Section 5 i-diff schema generator: conditional
+// attribute groups, the NC schema, the spanning-update fallback, and
+// provenance tracking.
+
+#include "gtest/gtest.h"
+#include "src/core/schema_generator.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+class SchemaGeneratorTest : public ::testing::Test {
+ protected:
+  SchemaGeneratorTest() { testing::LoadRunningExample(&db_); }
+
+  GeneratedDiffSchemas Generate(const PlanPtr& plan) {
+    return GenerateBaseDiffSchemas(InferIds(plan, db_), db_);
+  }
+
+  static int CountType(const std::vector<DiffSchema>& schemas,
+                       DiffType type) {
+    int n = 0;
+    for (const DiffSchema& s : schemas) n += s.type() == type ? 1 : 0;
+    return n;
+  }
+
+  Database db_;
+};
+
+TEST_F(SchemaGeneratorTest, RunningExampleSchemas) {
+  const GeneratedDiffSchemas out =
+      Generate(testing::RunningExampleSpjPlan(db_));
+
+  // parts: insert, delete, and ONE update schema (price is the only
+  // non-key attribute, non-conditional) — the Fig. 11c diff.
+  const std::vector<DiffSchema>& parts = out.For("parts");
+  EXPECT_EQ(CountType(parts, DiffType::kInsert), 1);
+  EXPECT_EQ(CountType(parts, DiffType::kDelete), 1);
+  EXPECT_EQ(CountType(parts, DiffType::kUpdate), 1);
+  for (const DiffSchema& s : parts) {
+    if (s.type() == DiffType::kUpdate) {
+      EXPECT_EQ(s.post_columns(), (std::vector<std::string>{"price"}));
+      EXPECT_EQ(s.pre_columns(), (std::vector<std::string>{"price"}));
+    }
+    if (s.type() == DiffType::kDelete) {
+      // Full pre-state ("pre-state values can lead only to a more
+      // efficient ∆-script").
+      EXPECT_EQ(s.pre_columns(), (std::vector<std::string>{"price"}));
+    }
+  }
+
+  // devices: category is conditional (σ category='phone') → one C_op
+  // update schema; no NC attributes remain.
+  const std::vector<DiffSchema>& devices = out.For("devices");
+  EXPECT_EQ(CountType(devices, DiffType::kUpdate), 1);
+
+  // devices_parts: all attributes are key attributes → no update schemas.
+  EXPECT_EQ(CountType(out.For("devices_parts"), DiffType::kUpdate), 0);
+}
+
+TEST_F(SchemaGeneratorTest, SpanningFallbackSchema) {
+  // A table whose attributes split into a conditional group and an NC group
+  // also gets the all-attributes fallback for spanning updates.
+  Table& t = db_.CreateTable("wide",
+                             Schema({{"id", DataType::kInt64},
+                                     {"cond", DataType::kInt64},
+                                     {"payload", DataType::kDouble}}),
+                             {"id"});
+  (void)t;
+  const PlanPtr plan = PlanNode::Select(
+      PlanNode::Scan("wide"), Gt(Col("cond"), Lit(Value(int64_t{0}))));
+  const GeneratedDiffSchemas out = Generate(plan);
+  const std::vector<DiffSchema>& schemas = out.For("wide");
+  std::set<std::vector<std::string>> post_sets;
+  for (const DiffSchema& s : schemas) {
+    if (s.type() == DiffType::kUpdate) post_sets.insert(s.post_columns());
+  }
+  EXPECT_EQ(post_sets.size(), 3u);  // {cond}, {payload}, {cond, payload}
+  EXPECT_TRUE(post_sets.count({"cond"}) > 0);
+  EXPECT_TRUE(post_sets.count({"payload"}) > 0);
+  EXPECT_TRUE(post_sets.count({"cond", "payload"}) > 0);
+}
+
+TEST_F(SchemaGeneratorTest, GroupByColumnsAreConditional) {
+  const GeneratedDiffSchemas out =
+      Generate(testing::RunningExampleAggPlan(db_));
+  // The γ groups by did (a key of devices — keys are never conditional),
+  // so devices still has exactly one update schema (category).
+  EXPECT_EQ(CountType(out.For("devices"), DiffType::kUpdate), 1);
+}
+
+TEST_F(SchemaGeneratorTest, ProvenanceThroughOperators) {
+  const ColumnOrigins origins =
+      ComputeProvenance(testing::RunningExampleSpjPlan(db_), db_);
+  EXPECT_EQ(origins.at("price"),
+            (std::set<std::pair<std::string, std::string>>{
+                {"parts", "price"}}));
+  // did reaches the output from both devices_parts and devices (equi).
+  EXPECT_TRUE(origins.at("did").count({"devices_parts", "did"}) > 0);
+}
+
+TEST_F(SchemaGeneratorTest, ConditionalAttributesHelper) {
+  const auto cond =
+      ConditionalAttributes(testing::RunningExampleSpjPlan(db_), db_);
+  const auto it = cond.find("devices");
+  ASSERT_NE(it, cond.end());
+  EXPECT_EQ(it->second, (std::set<std::string>{"category"}));
+  // parts.price appears in no condition.
+  EXPECT_TRUE(cond.find("parts") == cond.end() ||
+              cond.at("parts").count("price") == 0);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,59 @@
+// Unit tests for Schema: lookup, extension, uniqueness enforcement.
+
+#include "gtest/gtest.h"
+#include "src/types/schema.h"
+
+namespace idivm {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"price", DataType::kDouble}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.ColumnIndex("name"), 1u);
+  EXPECT_TRUE(s.HasColumn("price"));
+  EXPECT_FALSE(s.HasColumn("missing"));
+  EXPECT_EQ(s.FindColumn("missing"), std::nullopt);
+}
+
+TEST(SchemaTest, ColumnIndicesAndNames) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.ColumnIndices({"price", "id"}),
+            (std::vector<size_t>{2, 0}));
+  EXPECT_EQ(s.ColumnNames(),
+            (std::vector<std::string>{"id", "name", "price"}));
+  EXPECT_EQ(s.ColumnNameSet(),
+            (std::set<std::string>{"id", "name", "price"}));
+}
+
+TEST(SchemaTest, Extend) {
+  const Schema s = MakeSchema().Extend({{"extra", DataType::kInt64}});
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.column(3).name, "extra");
+}
+
+TEST(SchemaDeathTest, DuplicateNamesRejected) {
+  EXPECT_DEATH(Schema({{"a", DataType::kInt64}, {"a", DataType::kDouble}}),
+               "duplicate column");
+}
+
+TEST(SchemaDeathTest, UnknownColumnIndexAborts) {
+  const Schema s = MakeSchema();
+  EXPECT_DEATH(s.ColumnIndex("nope"), "no column");
+}
+
+TEST(SchemaTest, EqualityIncludesTypes) {
+  EXPECT_EQ(MakeSchema(), MakeSchema());
+  const Schema other({{"id", DataType::kInt64},
+                      {"name", DataType::kString},
+                      {"price", DataType::kInt64}});
+  EXPECT_FALSE(MakeSchema() == other);
+}
+
+}  // namespace
+}  // namespace idivm

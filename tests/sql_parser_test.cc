@@ -1,0 +1,203 @@
+// Tests for the SQL front end: lexing, the paper's Fig. 1b/5b views,
+// aliases/self-joins, anti joins, unions, aggregates, and error reporting.
+
+#include "gtest/gtest.h"
+#include "src/core/compose.h"
+#include "src/core/maintainer.h"
+#include "src/core/modification_log.h"
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+using sql::ParseResult;
+using sql::ParseView;
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() { testing::LoadRunningExample(&db_); }
+
+  ParseResult Parse(const std::string& text) { return ParseView(text, db_); }
+
+  Database db_;
+};
+
+TEST(SqlLexerTest, TokenKinds) {
+  std::vector<sql::Token> tokens;
+  std::string error;
+  ASSERT_TRUE(sql::Lex("SELECT a.b, 3.5 FROM t WHERE x >= 'hi' -- c\n",
+                       &tokens, &error))
+      << error;
+  EXPECT_EQ(tokens[0].kind, sql::TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "a.b");
+  EXPECT_EQ(tokens[3].kind, sql::TokenKind::kNumber);
+  EXPECT_EQ(tokens[8].text, ">=");
+  EXPECT_EQ(tokens[9].kind, sql::TokenKind::kString);
+  EXPECT_EQ(tokens[9].text, "hi");
+  EXPECT_EQ(tokens.back().kind, sql::TokenKind::kEnd);
+}
+
+TEST(SqlLexerTest, Errors) {
+  std::vector<sql::Token> tokens;
+  std::string error;
+  EXPECT_FALSE(sql::Lex("SELECT 'unterminated", &tokens, &error));
+  EXPECT_NE(error.find("unterminated"), std::string::npos);
+  tokens.clear();
+  EXPECT_FALSE(sql::Lex("SELECT @", &tokens, &error));
+}
+
+TEST_F(SqlParserTest, Fig1bView) {
+  const ParseResult result = Parse(
+      "SELECT did, pid, price "
+      "FROM parts NATURAL JOIN devices_parts NATURAL JOIN devices "
+      "WHERE category = 'phone'");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Relation expected =
+      testing::Recompute(&db_, testing::RunningExampleSpjPlan(db_));
+  EXPECT_TRUE(testing::Recompute(&db_, result.plan).BagEquals(expected));
+}
+
+TEST_F(SqlParserTest, Fig5bAggregateView) {
+  const ParseResult result = Parse(
+      "SELECT did, SUM(price) AS cost "
+      "FROM parts NATURAL JOIN devices_parts NATURAL JOIN devices "
+      "WHERE category = 'phone' GROUP BY did");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Relation expected =
+      testing::Recompute(&db_, testing::RunningExampleAggPlan(db_));
+  EXPECT_TRUE(testing::Recompute(&db_, result.plan).BagEquals(expected));
+}
+
+TEST_F(SqlParserTest, ParsedViewIsMaintainable) {
+  const ParseResult result = Parse(
+      "SELECT did, SUM(price) AS cost, COUNT(*) AS n "
+      "FROM parts NATURAL JOIN devices_parts GROUP BY did");
+  ASSERT_TRUE(result.ok()) << result.error;
+  Maintainer m(&db_, CompileView("v", result.plan, db_));
+  ModificationLogger logger(&db_);
+  logger.Update("parts", {Value("P1")}, {"price"}, {Value(42.0)});
+  m.Maintain(logger.NetChanges());
+  testing::ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
+}
+
+TEST_F(SqlParserTest, AliasedSelfJoin) {
+  const ParseResult result = Parse(
+      "SELECT a.did AS d1, b.did AS d2 "
+      "FROM devices_parts a JOIN devices_parts b "
+      "ON a.pid = b.pid AND a.did < b.did");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(testing::Recompute(&db_, result.plan).size(), 2u);
+}
+
+TEST_F(SqlParserTest, AntiJoin) {
+  const ParseResult result = Parse(
+      "SELECT * FROM parts ANTI JOIN devices_parts dp ON pid = dp.pid");
+  ASSERT_TRUE(result.ok()) << result.error;
+  // Only P3 is unused (Fig. 2 instance).
+  const Relation out = testing::Recompute(&db_, result.plan);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows()[0][0].AsString(), "P3");
+}
+
+TEST_F(SqlParserTest, SemiJoin) {
+  const ParseResult result = Parse(
+      "SELECT * FROM parts SEMI JOIN devices_parts dp ON pid = dp.pid");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(testing::Recompute(&db_, result.plan).size(), 2u);  // P1, P2
+
+  // Semi + anti partition the base.
+  const ParseResult anti = Parse(
+      "SELECT * FROM parts ANTI JOIN devices_parts dp ON pid = dp.pid");
+  EXPECT_EQ(testing::Recompute(&db_, result.plan).size() +
+                testing::Recompute(&db_, anti.plan).size(),
+            db_.GetTable("parts").size());
+}
+
+TEST_F(SqlParserTest, UnionAll) {
+  const ParseResult result = Parse(
+      "SELECT pid, price FROM parts WHERE price < 15 "
+      "UNION ALL SELECT pid, price FROM parts WHERE price >= 15");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Relation out = testing::Recompute(&db_, result.plan);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out.schema().HasColumn("branch"));
+}
+
+TEST_F(SqlParserTest, HavingAndExpressions) {
+  const ParseResult result = Parse(
+      "SELECT did, SUM(price * 2) AS double_cost "
+      "FROM parts NATURAL JOIN devices_parts "
+      "GROUP BY did HAVING double_cost > 30");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Relation out = testing::Recompute(&db_, result.plan);
+  for (const Row& row : out.rows()) {
+    EXPECT_GT(row[1].AsDouble(), 30.0);
+  }
+}
+
+TEST_F(SqlParserTest, ScalarFunctionsAndIsNull) {
+  const ParseResult result = Parse(
+      "SELECT pid, abs(price - 15) AS dist FROM parts "
+      "WHERE price IS NOT NULL AND NOT price IS NULL");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(testing::Recompute(&db_, result.plan).size(), 3u);
+}
+
+TEST_F(SqlParserTest, ErrorMessages) {
+  EXPECT_NE(Parse("SELECT * FROM nowhere").error.find("unknown table"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT zzz FROM parts").error.find("unknown column"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT price + 1 FROM parts").error.find("AS alias"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT SUM(price) AS s FROM parts").error
+                .find("GROUP BY"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT pid, SUM(price) AS s FROM parts GROUP BY price")
+                .error.find("must be a GROUP BY column"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT pid FROM parts WHERE SUM(price) > 1").error
+                .find("top-level"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT pid FROM parts UNION SELECT pid FROM parts")
+                .error.find("expected ALL"),
+            std::string::npos);
+  EXPECT_NE(Parse("SELECT pid FROM parts WHERE price > 1 blah").error
+                .find("trailing"),
+            std::string::npos);
+}
+
+TEST_F(SqlParserTest, BetweenAndIn) {
+  const ParseResult between = Parse(
+      "SELECT pid FROM parts WHERE price BETWEEN 15 AND 25");
+  ASSERT_TRUE(between.ok()) << between.error;
+  EXPECT_EQ(testing::Recompute(&db_, between.plan).size(), 2u);  // P2, P3
+
+  const ParseResult in_list = Parse(
+      "SELECT pid FROM parts WHERE pid IN ('P1', 'P3')");
+  ASSERT_TRUE(in_list.ok()) << in_list.error;
+  EXPECT_EQ(testing::Recompute(&db_, in_list.plan).size(), 2u);
+
+  // Desugared forms stay maintainable views.
+  Maintainer m(&db_, CompileView("v", between.plan, db_));
+  ModificationLogger logger(&db_);
+  logger.Update("parts", {Value("P1")}, {"price"}, {Value(18.0)});
+  m.Maintain(logger.NetChanges());
+  testing::ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
+}
+
+TEST_F(SqlParserTest, QualifiedColumnsInWhere) {
+  const ParseResult result = Parse(
+      "SELECT p.pid, p.price FROM parts p WHERE p.price > 15");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Relation out = testing::Recompute(&db_, result.plan);
+  EXPECT_EQ(out.size(), 2u);  // P2, P3 at 20
+  EXPECT_EQ(out.schema().ColumnNames(),
+            (std::vector<std::string>{"p_pid", "p_price"}));
+}
+
+}  // namespace
+}  // namespace idivm

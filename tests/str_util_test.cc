@@ -1,0 +1,29 @@
+// Unit tests for string helpers.
+
+#include "gtest/gtest.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+namespace {
+
+TEST(StrUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("solo"), "solo");
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"one"}, "|"), "one");
+}
+
+TEST(StrUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-12.0), "-12");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+}  // namespace
+}  // namespace idivm

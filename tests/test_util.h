@@ -1,0 +1,94 @@
+// Shared helpers for idIVM tests: the Fig. 1/2 toy database, view
+// recomputation, and IVM-vs-recompute assertions.
+
+#ifndef IDIVM_TESTS_TEST_UTIL_H_
+#define IDIVM_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/algebra/evaluator.h"
+#include "src/algebra/plan.h"
+#include "src/storage/database.h"
+
+namespace idivm::testing {
+
+// Loads the paper's running-example instance (Fig. 2):
+//   parts:          (P1, 10), (P2, 20), (P3, 20)
+//   devices:        (D1, phone), (D2, phone), (D3, tablet)
+//   devices_parts:  (D1,P1), (D2,P1), (D1,P2), (D3,P2)
+// (P3 exists but is unused — the overestimation example of Sec. 1; D3/P2
+// exercises the failing selection.)
+inline void LoadRunningExample(Database* db) {
+  Table& parts = db->CreateTable(
+      "parts",
+      Schema({{"pid", DataType::kString}, {"price", DataType::kDouble}}),
+      {"pid"});
+  parts.BulkLoadUncounted(Relation(
+      parts.schema(),
+      {{Value("P1"), Value(10.0)}, {Value("P2"), Value(20.0)},
+       {Value("P3"), Value(20.0)}}));
+
+  Table& devices = db->CreateTable(
+      "devices",
+      Schema({{"did", DataType::kString}, {"category", DataType::kString}}),
+      {"did"});
+  devices.BulkLoadUncounted(Relation(
+      devices.schema(),
+      {{Value("D1"), Value("phone")}, {Value("D2"), Value("phone")},
+       {Value("D3"), Value("tablet")}}));
+
+  Table& dp = db->CreateTable(
+      "devices_parts",
+      Schema({{"did", DataType::kString}, {"pid", DataType::kString}}),
+      {"did", "pid"});
+  dp.BulkLoadUncounted(Relation(
+      dp.schema(),
+      {{Value("D1"), Value("P1")}, {Value("D2"), Value("P1")},
+       {Value("D1"), Value("P2")}, {Value("D3"), Value("P2")}}));
+}
+
+// The Fig. 1b SPJ view over the running example.
+inline PlanPtr RunningExampleSpjPlan(const Database& db) {
+  PlanPtr plan = NaturalJoin(PlanNode::Scan("parts"),
+                             PlanNode::Scan("devices_parts"), db);
+  plan = NaturalJoin(
+      std::move(plan),
+      PlanNode::Select(PlanNode::Scan("devices"),
+                       Eq(Col("category"), Lit(Value("phone")))),
+      db);
+  return ProjectColumns(std::move(plan), {"did", "pid", "price"});
+}
+
+// The Fig. 5b aggregate view.
+inline PlanPtr RunningExampleAggPlan(const Database& db) {
+  return PlanNode::Aggregate(RunningExampleSpjPlan(db), {"did"},
+                             {{AggFunc::kSum, Col("price"), "cost"}});
+}
+
+// Recomputes `plan` from the current base tables without charging accesses.
+inline Relation Recompute(Database* db, const PlanPtr& plan) {
+  const AccessStats saved = db->stats();
+  EvalContext ctx;
+  ctx.db = db;
+  Relation out = Evaluate(plan, ctx);
+  db->stats() = AccessStats();
+  db->stats() += saved;
+  return out;
+}
+
+// Asserts the materialized `view_table` equals recomputing `plan`.
+inline void ExpectViewMatchesRecompute(Database* db, const PlanPtr& plan,
+                                       const std::string& view_table,
+                                       const std::string& context = "") {
+  const Relation expected = Recompute(db, plan);
+  const Relation actual = db->GetTable(view_table).SnapshotUncounted();
+  EXPECT_TRUE(actual.BagEquals(expected))
+      << context << "\nexpected (recomputed):\n"
+      << expected.Sorted().ToString() << "\nactual (maintained):\n"
+      << actual.Sorted().ToString();
+}
+
+}  // namespace idivm::testing
+
+#endif  // IDIVM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,75 @@
+// Unit tests for the Value scalar type: typing, SQL equality, total order,
+// hashing consistency, NULL semantics and printing.
+
+#include "gtest/gtest.h"
+#include "src/types/value.h"
+
+namespace idivm {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), DataType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_EQ(Value(7).type(), DataType::kInt64);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::string("xy")).type(), DataType::kString);
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).NumericAsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).NumericAsDouble(), 3.5);
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_FALSE(Value("s").is_numeric());
+  EXPECT_FALSE(Value().is_numeric());
+}
+
+TEST(ValueTest, SqlEqualsNullNeverEqual) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value(int64_t{1}).SqlEquals(Value::Null()));
+  EXPECT_TRUE(Value(int64_t{1}).SqlEquals(Value(1.0)));  // cross-numeric
+  EXPECT_TRUE(Value("a").SqlEquals(Value("a")));
+  EXPECT_FALSE(Value("a").SqlEquals(Value("b")));
+}
+
+TEST(ValueTest, TotalOrder) {
+  // NULL < numerics < strings.
+  EXPECT_LT(Value::Null(), Value(int64_t{-100}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value(int64_t{2}), Value(int64_t{3}));
+  EXPECT_LT(Value(2.5), Value(int64_t{3}));
+  EXPECT_LT(Value("a"), Value("b"));
+  // NULL == NULL under the total order (single group in GROUP BY).
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  // Equal numeric values across types compare equal-ish but stay ordered
+  // deterministically: int before double.
+  EXPECT_LT(Value(int64_t{3}), Value(3.0));
+  EXPECT_EQ(Value(int64_t{3}).Compare(Value(3.0)) +
+                Value(3.0).Compare(Value(int64_t{3})),
+            0);  // antisymmetric
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Cross-type numeric equality must hash identically (join keys).
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value(std::string("k")).Hash());
+  // Distinct values usually hash differently (sanity, not a guarantee).
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value(2.0).ToString(), "2");  // integral doubles print clean
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, LargeInt64ExactComparison) {
+  const int64_t big = (int64_t{1} << 62) + 1;
+  EXPECT_LT(Value(big), Value(big + 1));  // exact, not via double
+  EXPECT_EQ(Value(big).Compare(Value(big)), 0);
+}
+
+}  // namespace
+}  // namespace idivm

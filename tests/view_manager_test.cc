@@ -1,0 +1,120 @@
+// Tests for the Fig. 3 façade: multi-view management, eager vs deferred
+// refresh, and view lifecycle.
+
+#include "gtest/gtest.h"
+#include "src/core/view_manager.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+class ViewManagerTest : public ::testing::Test {
+ protected:
+  ViewManagerTest() { testing::LoadRunningExample(&db_); }
+
+  // Price of the (did, pid) row in view "v" (robust to the view's key
+  // column order).
+  double PriceOf(const std::string& did, const std::string& pid) {
+    Table& v = db_.GetTable("v");
+    const auto rows = v.LookupWhereEquals(
+        v.schema().ColumnIndices({"did", "pid"}),
+        {Value(did), Value(pid)});
+    EXPECT_EQ(rows.size(), 1u);
+    return rows.at(0)[v.schema().ColumnIndex("price")].AsDouble();
+  }
+
+  Database db_;
+};
+
+TEST_F(ViewManagerTest, DeferredRefreshMaintainsAllViews) {
+  ViewManager manager(&db_);
+  manager.DefineView("v", testing::RunningExampleSpjPlan(db_));
+  manager.DefineView("vp", testing::RunningExampleAggPlan(db_));
+  EXPECT_EQ(manager.ViewNames(), (std::vector<std::string>{"v", "vp"}));
+
+  manager.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)});
+  manager.Insert("devices_parts", {Value("D2"), Value("P2")});
+  // Views are stale until Refresh (deferred IVM).
+  EXPECT_DOUBLE_EQ(PriceOf("D1", "P1"), 10.0);
+
+  const auto results = manager.Refresh();
+  EXPECT_EQ(results.size(), 2u);
+  testing::ExpectViewMatchesRecompute(
+      &db_, manager.GetView("v").view().plan, "v");
+  testing::ExpectViewMatchesRecompute(
+      &db_, manager.GetView("vp").view().plan, "vp");
+  // Second refresh with no changes is free.
+  EXPECT_TRUE(manager.Refresh().empty());
+}
+
+TEST_F(ViewManagerTest, EagerRefreshKeepsViewsFresh) {
+  ViewManager manager(&db_, RefreshMode::kEager);
+  manager.DefineView("v", testing::RunningExampleSpjPlan(db_));
+  manager.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)});
+  // Fresh immediately, no explicit Refresh.
+  EXPECT_DOUBLE_EQ(PriceOf("D1", "P1"), 13.0);
+  manager.Delete("devices_parts", {Value("D2"), Value("P1")});
+  testing::ExpectViewMatchesRecompute(
+      &db_, manager.GetView("v").view().plan, "v");
+}
+
+TEST_F(ViewManagerTest, DropViewRemovesTablesAndCaches) {
+  ViewManager manager(&db_);
+  Maintainer& m = manager.DefineView("vp",
+                                     testing::RunningExampleAggPlan(db_));
+  const std::vector<std::string> caches = m.view().cache_tables;
+  ASSERT_FALSE(caches.empty());
+  manager.DropView("vp");
+  EXPECT_FALSE(db_.HasTable("vp"));
+  for (const std::string& cache : caches) {
+    EXPECT_FALSE(db_.HasTable(cache));
+  }
+  EXPECT_FALSE(manager.HasView("vp"));
+}
+
+TEST_F(ViewManagerTest, DuplicateViewRejected) {
+  ViewManager manager(&db_);
+  manager.DefineView("v", testing::RunningExampleSpjPlan(db_));
+  EXPECT_DEATH(manager.DefineView("v", testing::RunningExampleSpjPlan(db_)),
+               "already defined");
+}
+
+TEST_F(ViewManagerTest, RepositoryPersistence) {
+  // Compile two views, persist the repository, and continue maintenance in
+  // a "new process" (a fresh ViewManager over the same database).
+  std::string dump;
+  {
+    ViewManager manager(&db_);
+    manager.DefineView("v", testing::RunningExampleSpjPlan(db_));
+    manager.DefineView("vp", testing::RunningExampleAggPlan(db_));
+    dump = manager.SerializeRepository();
+  }
+  ViewManager reloaded(&db_);
+  const std::string error = reloaded.LoadRepository(dump);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(reloaded.ViewNames(), (std::vector<std::string>{"v", "vp"}));
+
+  reloaded.Update("parts", {Value("P1")}, {"price"}, {Value(15.0)});
+  reloaded.Refresh();
+  testing::ExpectViewMatchesRecompute(
+      &db_, reloaded.GetView("v").view().plan, "v");
+  testing::ExpectViewMatchesRecompute(
+      &db_, reloaded.GetView("vp").view().plan, "vp");
+}
+
+TEST_F(ViewManagerTest, RepositoryLoadErrors) {
+  ViewManager manager(&db_);
+  EXPECT_FALSE(manager.LoadRepository("nonsense").empty());
+}
+
+TEST_F(ViewManagerTest, FailedModificationsAreNotLogged) {
+  ViewManager manager(&db_);
+  manager.DefineView("v", testing::RunningExampleSpjPlan(db_));
+  EXPECT_FALSE(manager.Delete("parts", {Value("P99")}));
+  EXPECT_FALSE(manager.Update("parts", {Value("P99")}, {"price"},
+                              {Value(1.0)}));
+  EXPECT_TRUE(manager.Refresh().empty());
+}
+
+}  // namespace
+}  // namespace idivm

@@ -1,0 +1,145 @@
+// Workload generator tests: the devices/parts family (Figs. 1/5/11) builds
+// correct data shapes and both IVM engines maintain its views.
+
+#include "gtest/gtest.h"
+#include "src/core/compose.h"
+#include "src/core/maintainer.h"
+#include "src/sdbt/sdbt.h"
+#include "src/tivm/tuple_ivm.h"
+#include "src/workload/devices_parts.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+DevicesPartsConfig SmallConfig() {
+  DevicesPartsConfig config;
+  config.num_parts = 200;
+  config.num_devices = 100;
+  config.fanout = 5;
+  config.selectivity_pct = 30;
+  return config;
+}
+
+TEST(DevicesPartsTest, GeneratedShapes) {
+  Database db;
+  DevicesPartsConfig config = SmallConfig();
+  DevicesPartsWorkload workload(&db, config);
+  EXPECT_EQ(db.GetTable("parts").size(), 200u);
+  EXPECT_EQ(db.GetTable("devices").size(), 100u);
+  EXPECT_EQ(db.GetTable("devices_parts").size(), 500u);  // devices × fanout
+
+  // Selectivity: roughly 30% phones.
+  const Relation devices = db.GetTable("devices").SnapshotUncounted();
+  int64_t phones = 0;
+  for (const Row& row : devices.rows()) {
+    if (row[1].AsString() == "phone") ++phones;
+  }
+  EXPECT_GT(phones, 15);
+  EXPECT_LT(phones, 45);
+}
+
+TEST(DevicesPartsTest, ExtraJoinTablesPresent) {
+  Database db;
+  DevicesPartsConfig config = SmallConfig();
+  config.extra_joins = 3;
+  DevicesPartsWorkload workload(&db, config);
+  for (int j = 1; j <= 3; ++j) {
+    EXPECT_EQ(db.GetTable("r" + std::to_string(j)).size(), 500u);
+  }
+  // The extended SPJ view compiles and materializes.
+  Maintainer m(&db, CompileView("v", workload.SpjViewPlan(), db));
+  EXPECT_TRUE(db.GetTable("v").schema().HasColumn("x3"));
+}
+
+TEST(DevicesPartsTest, IdIvmMaintainsAggView) {
+  Database db;
+  DevicesPartsWorkload workload(&db, SmallConfig());
+  Maintainer m(&db, CompileView("vp", workload.AggViewPlan(), db));
+  ModificationLogger logger(&db);
+  workload.ApplyPriceUpdates(&logger, 20);
+  m.Maintain(logger.NetChanges());
+  testing::ExpectViewMatchesRecompute(&db, m.view().plan, "vp");
+}
+
+TEST(DevicesPartsTest, IdIvmMaintainsMixedChanges) {
+  Database db;
+  DevicesPartsWorkload workload(&db, SmallConfig());
+  Maintainer m(&db, CompileView("vp", workload.AggViewPlan(), db));
+  ModificationLogger logger(&db);
+  workload.ApplyMixedChanges(&logger, /*inserts=*/10, /*deletes=*/10,
+                             /*updates=*/10);
+  m.Maintain(logger.NetChanges());
+  testing::ExpectViewMatchesRecompute(&db, m.view().plan, "vp");
+}
+
+TEST(DevicesPartsTest, TupleIvmMatchesIdIvm) {
+  // Two engines over two copies of the same workload: identical views.
+  Database db_id;
+  Database db_t;
+  DevicesPartsWorkload w_id(&db_id, SmallConfig());
+  DevicesPartsWorkload w_t(&db_t, SmallConfig());
+  Maintainer m(&db_id, CompileView("vp", w_id.AggViewPlan(), db_id));
+  TupleIvm tivm(&db_t, "vp", w_t.AggViewPlan());
+
+  ModificationLogger log_id(&db_id);
+  ModificationLogger log_t(&db_t);
+  w_id.ApplyPriceUpdates(&log_id, 25);
+  w_t.ApplyPriceUpdates(&log_t, 25);  // same seed → same updates
+  m.Maintain(log_id.NetChanges());
+  tivm.Maintain(log_t.NetChanges());
+
+  EXPECT_TRUE(db_id.GetTable("vp").SnapshotUncounted().BagEquals(
+      db_t.GetTable("vp").SnapshotUncounted()));
+}
+
+TEST(SdbtTest, FixedAndStreamsMatchRecompute) {
+  for (const auto mode :
+       {SdbtDevicesParts::Mode::kFixed, SdbtDevicesParts::Mode::kStreams}) {
+    Database db;
+    DevicesPartsWorkload workload(&db, SmallConfig());
+    SdbtDevicesParts sdbt(&db, SmallConfig(), "vp", mode);
+    ModificationLogger logger(&db);
+    workload.ApplyPriceUpdates(&logger, 20);
+    sdbt.Maintain(logger.NetChanges());
+    testing::ExpectViewMatchesRecompute(&db, workload.AggViewPlan(), "vp",
+                                        mode == SdbtDevicesParts::Mode::kFixed
+                                            ? "fixed"
+                                            : "streams");
+  }
+}
+
+TEST(SdbtTest, StreamsMaintainsAuxiliaryView) {
+  Database db;
+  DevicesPartsConfig config = SmallConfig();
+  DevicesPartsWorkload workload(&db, config);
+  SdbtDevicesParts sdbt(&db, config, "vp", SdbtDevicesParts::Mode::kStreams);
+  ModificationLogger logger(&db);
+  workload.ApplyPriceUpdates(&logger, 10);
+  const MaintainResult result = sdbt.Maintain(logger.NetChanges());
+  // The streams overhead: aux_pd writes show up as cache-update cost.
+  EXPECT_GT(result.cache_update.accesses.tuple_writes, 0);
+
+  // aux_pd prices must now agree with parts.
+  const Relation aux = db.GetTable("__sdbt_pd_vp").SnapshotUncounted();
+  for (const Row& row : aux.rows()) {
+    const auto part =
+        db.GetTable("parts").LookupByKeyUncounted({row[1]});
+    ASSERT_TRUE(part.has_value());
+    EXPECT_EQ(row[2].NumericAsDouble(), (*part)[1].NumericAsDouble());
+  }
+}
+
+TEST(SdbtTest, FixedHasNoCacheMaintenance) {
+  Database db;
+  DevicesPartsConfig config = SmallConfig();
+  DevicesPartsWorkload workload(&db, config);
+  SdbtDevicesParts sdbt(&db, config, "vp", SdbtDevicesParts::Mode::kFixed);
+  ModificationLogger logger(&db);
+  workload.ApplyPriceUpdates(&logger, 10);
+  const MaintainResult result = sdbt.Maintain(logger.NetChanges());
+  EXPECT_EQ(result.cache_update.accesses.TotalAccesses(), 0);
+}
+
+}  // namespace
+}  // namespace idivm
