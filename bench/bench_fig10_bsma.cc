@@ -9,15 +9,26 @@
 // both engines, shrinking its ratio.)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "src/common/thread_pool.h"
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
 #include "src/tivm/tuple_ivm.h"
 #include "src/workload/bsma.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace idivm;
+
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
+  if (threads < 1) threads = 1;
 
   BsmaConfig config;  // defaults: 2000 users, paper table ratios
   const int64_t kUpdates = 100;
@@ -25,8 +36,10 @@ int main() {
   std::printf("\nFigure 10: BSMA social analytics, %lld user-attribute "
               "update diffs\n",
               static_cast<long long>(kUpdates));
-  std::printf("users=%lld (tables scaled at the paper's ratios)\n\n",
-              static_cast<long long>(config.users));
+  std::printf("users=%lld (tables scaled at the paper's ratios); ∆-script "
+              "threads=%d (of %d hardware)\n\n",
+              static_cast<long long>(config.users), threads,
+              ThreadPool::HardwareThreads());
   std::printf("%-5s %-46s %12s %12s %9s %9s %10s %8s\n", "view",
               "description", "ID-acc", "Tuple-acc", "ID-ms", "Tuple-ms",
               "speedup", "paper");
@@ -45,7 +58,8 @@ int main() {
       ModificationLogger logger(&db);
       workload.ApplyUserUpdates(&logger, kUpdates);
       db.stats().Reset();
-      id_result = m.Maintain(logger.NetChanges());
+      id_result = m.Maintain(logger.NetChanges(),
+                             MaintainOptions{.threads = threads});
     }
     {
       Database db;

@@ -15,31 +15,38 @@ IndexedRelation::IndexedRelation(Relation data, AccessStats* stats)
 }
 
 Relation IndexedRelation::ScanCounted() const {
-  stats_->tuple_reads += static_cast<int64_t>(data_.size());
+  ChargeSink(stats_).tuple_reads += static_cast<int64_t>(data_.size());
   return data_;
 }
 
-std::vector<Row> IndexedRelation::Probe(const std::vector<size_t>& columns,
-                                        const Row& key) const {
+const IndexedRelation::LazyIndex& IndexedRelation::GetOrBuildIndex(
+    const std::vector<size_t>& columns) const {
+  std::lock_guard<std::mutex> lock(*index_mutex_);
   auto it = indexes_.find(columns);
   if (it == indexes_.end()) {
     // Build the index once; building is free in the paper's model (indices
     // are assumed to exist at maintenance time).
-    std::unordered_map<size_t, std::vector<size_t>> index;
+    LazyIndex index;
     for (size_t i = 0; i < data_.rows().size(); ++i) {
       index[HashRowKey(data_.rows()[i], columns)].push_back(i);
     }
     it = indexes_.emplace(columns, std::move(index)).first;
   }
-  ++stats_->index_lookups;
+  return it->second;
+}
+
+std::vector<Row> IndexedRelation::Probe(const std::vector<size_t>& columns,
+                                        const Row& key) const {
+  const LazyIndex& index = GetOrBuildIndex(columns);
+  ++ChargeSink(stats_).index_lookups;
   std::vector<Row> out;
   size_t h = 0xcbf29ce484222325ULL;
   for (const Value& v : key) {
     h ^= v.Hash();
     h *= 0x100000001b3ULL;
   }
-  const auto bucket = it->second.find(h);
-  if (bucket == it->second.end()) return out;
+  const auto bucket = index.find(h);
+  if (bucket == index.end()) return out;
   for (size_t row_idx : bucket->second) {
     const Row& row = data_.rows()[row_idx];
     bool match = true;
@@ -50,7 +57,7 @@ std::vector<Row> IndexedRelation::Probe(const std::vector<size_t>& columns,
       }
     }
     if (match) {
-      ++stats_->tuple_reads;
+      ++ChargeSink(stats_).tuple_reads;
       out.push_back(row);
     }
   }

@@ -15,6 +15,8 @@
 #define IDIVM_ALGEBRA_EVALUATOR_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -45,11 +47,18 @@ class IndexedRelation {
   const Relation& data_uncounted() const { return data_; }
 
  private:
+  using LazyIndex = std::unordered_map<size_t, std::vector<size_t>>;
+  // Finds or builds the index on `columns`. The build is serialized so
+  // concurrent script steps can probe the same pre-state relation; a built
+  // index is immutable (the relation never changes), so probing it after
+  // the lookup needs no lock.
+  const LazyIndex& GetOrBuildIndex(const std::vector<size_t>& columns) const;
+
   Relation data_;
   AccessStats* stats_;
-  mutable std::map<std::vector<size_t>,
-                   std::unordered_map<size_t, std::vector<size_t>>>
-      indexes_;
+  // unique_ptr keeps IndexedRelation movable despite the mutex.
+  std::unique_ptr<std::mutex> index_mutex_ = std::make_unique<std::mutex>();
+  mutable std::map<std::vector<size_t>, LazyIndex> indexes_;
 };
 
 // Everything a plan may reference during evaluation.

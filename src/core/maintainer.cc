@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/algebra/evaluator.h"
 #include "src/common/check.h"
 #include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
 #include "src/expr/analysis.h"
 
 namespace idivm {
@@ -530,6 +535,100 @@ class AggregateExecutor {
   std::unique_ptr<DiffInstance> delete_;
 };
 
+// ---- Parallel scheduling over the rule DAG ---------------------------------
+//
+// The compose pass orders steps so diffs exist before use; the RuleDag
+// records which rule consumes which diff. For scheduling we recover the
+// same dependency structure directly from the steps (which also names the
+// stored tables each step touches): two steps conflict when one produces a
+// transient the other consumes (a DAG edge), or when one writes a stored
+// table the other reads or writes. Non-conflicting steps — exactly the
+// independent per-base-table diff chains of Fig. 6 — run concurrently.
+
+// Transient relations a plan reads. The minimizer's statically-empty
+// "__empty*" refs resolve without the context and are not reads.
+void CollectTransientRefs(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan == nullptr) return;
+  if (plan->kind() == PlanKind::kRelationRef &&
+      plan->ref_name().rfind("__empty", 0) != 0) {
+    out->insert(plan->ref_name());
+  }
+  for (const PlanPtr& child : plan->children()) {
+    CollectTransientRefs(child, out);
+  }
+}
+
+// Stored tables a plan may read (Scan leaves in either state; CoalesceProbe
+// children are ordinary subplans and are covered by their own Scans).
+void CollectScanTables(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan == nullptr) return;
+  if (plan->kind() == PlanKind::kScan) out->insert(plan->table_name());
+  for (const PlanPtr& child : plan->children()) {
+    CollectScanTables(child, out);
+  }
+}
+
+// The scheduler-relevant footprint of one script step.
+struct StepAccess {
+  std::set<std::string> transient_reads;
+  std::set<std::string> transient_writes;
+  std::set<std::string> table_reads;
+  std::set<std::string> table_writes;
+  // Blocking γ steps merge every branch that reaches them and mutate the
+  // shared transient store while running: they execute as barriers.
+  bool exclusive = false;
+  MaintPhase phase = MaintPhase::kDiffComputation;
+  std::string label;
+};
+
+StepAccess AnalyzeStep(const ScriptStep& step) {
+  StepAccess access;
+  if (step.compute.has_value()) {
+    const ComputeDiffStep& cs = *step.compute;
+    CollectTransientRefs(cs.query, &access.transient_reads);
+    CollectScanTables(cs.query, &access.table_reads);
+    access.transient_writes.insert(cs.out_name);
+    access.phase = MaintPhase::kDiffComputation;
+    access.label = "compute " + cs.out_name;
+  } else if (step.apply.has_value()) {
+    const ApplyStep& as = *step.apply;
+    access.transient_reads.insert(as.diff_name);
+    access.table_writes.insert(as.target_table);
+    if (!as.returning_pre.empty()) {
+      access.transient_writes.insert(as.returning_pre);
+    }
+    if (!as.returning_post.empty()) {
+      access.transient_writes.insert(as.returning_post);
+    }
+    access.phase = as.phase;
+    access.label = "apply " + as.diff_name + " -> " + as.target_table;
+  } else if (step.aggregate.has_value()) {
+    access.exclusive = true;
+    access.phase = MaintPhase::kDiffComputation;
+    access.label = "γ-maintain " + step.aggregate->node_name;
+  }
+  return access;
+}
+
+bool Intersect(const std::set<std::string>& a,
+               const std::set<std::string>& b) {
+  for (const std::string& name : a) {
+    if (b.count(name) > 0) return true;
+  }
+  return false;
+}
+
+// True when the earlier step `a` must complete before `b` may start.
+bool StepsConflict(const StepAccess& a, const StepAccess& b) {
+  if (a.exclusive || b.exclusive) return true;
+  return Intersect(a.transient_writes, b.transient_reads) ||  // produce/use
+         Intersect(a.transient_writes, b.transient_writes) ||  // rebind
+         Intersect(a.transient_reads, b.transient_writes) ||   // anti-dep
+         Intersect(a.table_writes, b.table_reads) ||
+         Intersect(a.table_writes, b.table_writes) ||  // APPLYs per target
+         Intersect(a.table_reads, b.table_writes);
+}
+
 }  // namespace
 
 Maintainer::Maintainer(Database* db, CompiledView view)
@@ -548,7 +647,8 @@ Maintainer::Maintainer(Database* db, CompiledView view)
 }
 
 MaintainResult Maintainer::Maintain(
-    const std::map<std::string, std::vector<Modification>>& net_changes) {
+    const std::map<std::string, std::vector<Modification>>& net_changes,
+    const MaintainOptions& options) {
   MaintainResult result;
 
   // Input diff instances.
@@ -586,25 +686,166 @@ MaintainResult Maintainer::Maintain(
     transients[name] = instance.data();
   }
 
+  const std::vector<ScriptStep>& steps = view_.script.steps;
+  const size_t n = steps.size();
+
+  // Per-step execution record: every access charge lands in the step's
+  // private arena (no shared-counter writes while steps run), wall time and
+  // apply counters are per-step too. Everything is merged single-threaded,
+  // in script order, after execution — so the published counters cannot go
+  // backwards, double-count, or depend on the interleaving.
+  struct StepRun {
+    StatsArena arena;
+    double seconds = 0;
+    ApplyResult applied;
+  };
+  std::vector<StepRun> runs(n);
+  std::vector<StepAccess> access(n);
+  for (size_t i = 0; i < n; ++i) access[i] = AnalyzeStep(steps[i]);
+
+  // Executes step `i` with transient bindings from `ctx`. Produced
+  // transients go to `outputs` for the caller to publish — except for the
+  // blocking γ steps, which run exclusively and use the shared map
+  // directly (they bind scratch relations mid-evaluation).
+  auto execute_step = [&](size_t i, EvalContext& step_ctx,
+                          std::vector<std::pair<std::string, Relation>>*
+                              outputs) {
+    const ScriptStep& step = steps[i];
+    StepRun& run = runs[i];
+    ScopedStatsArena scope(&run.arena);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (step.compute.has_value()) {
+      const ComputeDiffStep& cs = *step.compute;
+      Relation rel = Evaluate(cs.query, step_ctx);
+      if (!cs.raw_relation) {
+        DiffInstance inst(*view_.script.FindDiffSchema(cs.out_name),
+                          std::move(rel));
+        inst.DeduplicateByIds();
+        outputs->emplace_back(cs.out_name, inst.data());
+      } else {
+        outputs->emplace_back(cs.out_name, std::move(rel));
+      }
+    } else if (step.apply.has_value()) {
+      const ApplyStep& as = *step.apply;
+      const DiffSchema* schema = view_.script.FindDiffSchema(as.diff_name);
+      IDIVM_CHECK(schema != nullptr,
+                  StrCat("apply of unregistered diff ", as.diff_name));
+      const auto it = step_ctx.transient.find(as.diff_name);
+      IDIVM_CHECK(it != step_ctx.transient.end(),
+                  StrCat("apply of unbound diff ", as.diff_name));
+      DiffInstance inst(*schema, *it->second);
+      Table& target = db_->GetTable(as.target_table);
+      if (apply_observer_ != nullptr) {
+        apply_observer_(as.target_table, inst);
+      }
+      const bool capture =
+          !as.returning_pre.empty() || !as.returning_post.empty();
+      ReturningImages images(target.schema());
+      run.applied = ApplyDiff(inst, target, capture ? &images : nullptr);
+      if (capture) {
+        outputs->emplace_back(as.returning_pre,
+                              std::move(images.pre_images));
+        outputs->emplace_back(as.returning_post,
+                              std::move(images.post_images));
+      }
+    } else if (step.aggregate.has_value()) {
+      AggregateExecutor exec(db_, *step.aggregate, &transients, &step_ctx,
+                             &result);
+      exec.set_script(&view_.script);
+      exec.Run();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  if (options.threads <= 1 || n <= 1) {
+    // Sequential execution on the calling thread, in script order.
+    std::vector<std::pair<std::string, Relation>> outputs;
+    for (size_t i = 0; i < n; ++i) {
+      // Rebind ctx.transient views each step (cheap pointer map).
+      ctx.transient.clear();
+      for (const auto& [name, rel] : transients) {
+        ctx.transient[name] = &rel;
+      }
+      outputs.clear();
+      execute_step(i, ctx, &outputs);
+      for (auto& [name, rel] : outputs) transients[name] = std::move(rel);
+    }
+  } else {
+    // DAG scheduler: an edge i -> j (i earlier in script order) exists when
+    // the steps conflict; a step becomes ready when all predecessors
+    // completed. Blocking γ steps conflict with everything — barriers.
+    std::vector<std::vector<size_t>> succs(n);
+    std::vector<size_t> pending(n, 0);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        if (StepsConflict(access[i], access[j])) {
+          succs[i].push_back(j);
+          ++pending[j];
+        }
+      }
+    }
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t completed = 0;
+    ThreadPool pool(options.threads);
+    // Self-referential so completions can schedule newly-ready successors.
+    std::function<void(size_t)> submit = [&](size_t i) {
+      pool.Submit([&, i] {
+        EvalContext step_ctx;
+        step_ctx.db = ctx.db;
+        step_ctx.pre_state = ctx.pre_state;
+        step_ctx.assist_unsafe_tables = ctx.assist_unsafe_tables;
+        std::vector<std::pair<std::string, Relation>> outputs;
+        {
+          // Snapshot bindings: all producers of this step's inputs have
+          // completed and published (dependency edges); Relation values in
+          // the map are never mutated after publication and map nodes are
+          // address-stable, so the pointers stay valid outside the lock.
+          std::lock_guard<std::mutex> lock(mutex);
+          for (const auto& [name, rel] : transients) {
+            step_ctx.transient[name] = &rel;
+          }
+        }
+        execute_step(i, step_ctx, &outputs);
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto& [name, rel] : outputs) transients[name] = std::move(rel);
+        for (size_t succ : succs[i]) {
+          if (--pending[succ] == 0) submit(succ);
+        }
+        if (++completed == n) done_cv.notify_all();
+      });
+    };
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (size_t i = 0; i < n; ++i) {
+        if (pending[i] == 0) submit(i);
+      }
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return completed == n; });
+  }
+
+  // Merge: phase attribution, apply counters and the shared AccessStats
+  // sinks, all on this thread in script order — identical to the sequential
+  // totals whatever the execution interleaving was.
   // Set IDIVM_TRACE_STEPS=1 to print per-step access costs (debugging).
   static const bool trace = std::getenv("IDIVM_TRACE_STEPS") != nullptr;
-  int step_index = 0;
-
-  auto run_phase = [&](MaintPhase phase, const auto& fn,
-                       const std::string& label = "") {
-    const AccessStats before = db_->stats();
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
     PhaseCost cost;
-    cost.accesses = db_->stats() - before;
-    cost.seconds = std::chrono::duration<double>(t1 - t0).count();
+    cost.accesses = runs[i].arena.Sum(&db_->stats());
+    cost.seconds = runs[i].seconds;
     if (trace) {
-      std::fprintf(stderr, "[step %d] %-40s %s\n", step_index, label.c_str(),
+      std::fprintf(stderr, "[step %zu] %-40s %s\n", i,
+                   access[i].label.c_str(),
                    cost.accesses.ToString().c_str());
     }
-    ++step_index;
-    switch (phase) {
+    runs[i].arena.Publish();
+    result.diff_tuples_applied += runs[i].applied.diff_tuples;
+    result.rows_touched += runs[i].applied.rows_touched;
+    result.dummy_tuples += runs[i].applied.dummy_tuples;
+    switch (access[i].phase) {
       case MaintPhase::kDiffComputation:
         result.diff_computation += cost;
         break;
@@ -614,63 +855,6 @@ MaintainResult Maintainer::Maintain(
       case MaintPhase::kViewUpdate:
         result.view_update += cost;
         break;
-    }
-  };
-
-  for (const ScriptStep& step : view_.script.steps) {
-    // Rebind ctx.transient views each step (cheap pointer map).
-    ctx.transient.clear();
-    for (const auto& [name, rel] : transients) {
-      ctx.transient[name] = &rel;
-    }
-
-    if (step.compute.has_value()) {
-      const ComputeDiffStep& cs = *step.compute;
-      run_phase(MaintPhase::kDiffComputation, [&] {
-        Relation rel = Evaluate(cs.query, ctx);
-        if (!cs.raw_relation) {
-          DiffInstance inst(*view_.script.FindDiffSchema(cs.out_name),
-                            std::move(rel));
-          inst.DeduplicateByIds();
-          transients[cs.out_name] = inst.data();
-        } else {
-          transients[cs.out_name] = std::move(rel);
-        }
-      }, "compute " + cs.out_name);
-    } else if (step.apply.has_value()) {
-      const ApplyStep& as = *step.apply;
-      run_phase(as.phase, [&] {
-        const DiffSchema* schema = view_.script.FindDiffSchema(as.diff_name);
-        IDIVM_CHECK(schema != nullptr,
-                    StrCat("apply of unregistered diff ", as.diff_name));
-        const auto it = transients.find(as.diff_name);
-        IDIVM_CHECK(it != transients.end(),
-                    StrCat("apply of unbound diff ", as.diff_name));
-        DiffInstance inst(*schema, it->second);
-        Table& target = db_->GetTable(as.target_table);
-        if (apply_observer_ != nullptr) {
-          apply_observer_(as.target_table, inst);
-        }
-        const bool capture =
-            !as.returning_pre.empty() || !as.returning_post.empty();
-        ReturningImages images(target.schema());
-        const ApplyResult applied =
-            ApplyDiff(inst, target, capture ? &images : nullptr);
-        result.diff_tuples_applied += applied.diff_tuples;
-        result.rows_touched += applied.rows_touched;
-        result.dummy_tuples += applied.dummy_tuples;
-        if (capture) {
-          transients[as.returning_pre] = std::move(images.pre_images);
-          transients[as.returning_post] = std::move(images.post_images);
-        }
-      }, "apply " + as.diff_name + " -> " + as.target_table);
-    } else if (step.aggregate.has_value()) {
-      run_phase(MaintPhase::kDiffComputation, [&] {
-        AggregateExecutor exec(db_, *step.aggregate, &transients, &ctx,
-                               &result);
-        exec.set_script(&view_.script);
-        exec.Run();
-      }, "γ-maintain " + step.aggregate->node_name);
     }
   }
   return result;

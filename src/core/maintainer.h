@@ -1,8 +1,17 @@
 // View-maintenance-time execution (Section 3, blue components): the ∆-script
 // executor. Takes the net base-table changes, populates the input i-diff
 // instances, reconstructs pre-states where the script needs them, and runs
-// the script step by step, attributing costs and wall time to the phases of
+// the script steps, attributing costs and wall time to the phases of
 // Fig. 12 (diff computation / cache update / view update).
+//
+// With MaintainOptions::threads > 1 the executor schedules steps over the
+// rule DAG (Fig. 6): steps whose input diffs are ready and whose stored-table
+// accesses do not conflict run concurrently on a thread pool, so the
+// independent per-base-table diff chains of the script proceed in parallel.
+// Blocking (aggregation) steps act as barriers. Per-step costs accumulate in
+// thread-private StatsArenas and are merged single-threaded in script order,
+// so view contents and every AccessStats counter are identical to sequential
+// execution (asserted by parallel_maintain_test).
 
 #ifndef IDIVM_CORE_MAINTAINER_H_
 #define IDIVM_CORE_MAINTAINER_H_
@@ -27,6 +36,13 @@ struct PhaseCost {
     seconds += other.seconds;
     return *this;
   }
+};
+
+struct MaintainOptions {
+  // Number of worker threads executing the ∆-script. 1 (the default) runs
+  // the steps sequentially on the calling thread — the pre-parallel
+  // behaviour, bit for bit. Values > 1 enable the DAG scheduler.
+  int threads = 1;
 };
 
 struct MaintainResult {
@@ -54,12 +70,16 @@ class Maintainer {
   // Runs the ∆-script for the given net base-table changes (from
   // ModificationLogger::NetChanges). Does not clear any log.
   MaintainResult Maintain(
-      const std::map<std::string, std::vector<Modification>>& net_changes);
+      const std::map<std::string, std::vector<Modification>>& net_changes,
+      const MaintainOptions& options = {});
 
   // Observability hook: called for every APPLY step just before execution
   // with the target table name and the diff instance. Used by tests to
   // verify the Section 2 effectiveness conditions on emitted diffs, and by
-  // embedders for audit logging. Not part of the cost model.
+  // embedders for audit logging. Not part of the cost model. With
+  // options.threads > 1 the observer may be invoked from worker threads
+  // (APPLY steps to *different* targets can run concurrently); it must be
+  // thread-safe then.
   using ApplyObserver =
       std::function<void(const std::string& target, const DiffInstance&)>;
   void set_apply_observer(ApplyObserver observer) {

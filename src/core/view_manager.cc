@@ -1,7 +1,10 @@
 #include "src/core/view_manager.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
 #include "src/core/script_io.h"
 
 namespace idivm {
@@ -111,13 +114,40 @@ std::string ViewManager::LoadRepository(const std::string& text) {
   return "";
 }
 
-std::map<std::string, MaintainResult> ViewManager::Refresh() {
+std::map<std::string, MaintainResult> ViewManager::Refresh(
+    const RefreshOptions& options) {
   std::map<std::string, MaintainResult> out;
   const auto net = logger_.NetChanges();
   logger_.Clear();
   if (net.empty()) return out;
-  for (auto& [name, maintainer] : views_) {
-    out.emplace(name, maintainer->Maintain(net));
+  const size_t n = views_.size();
+  const int threads =
+      std::min<int>(options.threads, static_cast<int>(n));
+  if (threads <= 1) {
+    for (auto& [name, maintainer] : views_) {
+      out.emplace(name, maintainer->Maintain(net));
+    }
+    return out;
+  }
+  // Parallel refresh: one task per view; each task charges into a private
+  // per-view arena (installed for the whole Maintain call), published in
+  // definition order afterwards so the shared counters match the
+  // sequential run.
+  std::vector<StatsArena> arenas(n);
+  std::vector<MaintainResult> results(n);
+  {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([this, &net, &arenas, &results, i] {
+        ScopedStatsArena scope(&arenas[i]);
+        results[i] = views_[i].second->Maintain(net);
+      });
+    }
+    // ~ThreadPool drains the queue and joins.
+  }
+  for (size_t i = 0; i < n; ++i) {
+    arenas[i].Publish();
+    out.emplace(views_[i].first, results[i]);
   }
   return out;
 }

@@ -23,6 +23,17 @@ namespace idivm {
 
 enum class RefreshMode { kDeferred, kEager };
 
+struct RefreshOptions {
+  // Worker threads for Refresh. 1 maintains the views sequentially in
+  // definition order (the pre-parallel behaviour). More threads maintain
+  // whole views concurrently — sound because each view's ∆-script writes
+  // only its own view/cache tables and reads base tables that Refresh never
+  // modifies; every access charge is deferred through a per-view StatsArena
+  // and published in definition order, so all AccessStats counters match
+  // the sequential run exactly.
+  int threads = 1;
+};
+
 class ViewManager {
  public:
   explicit ViewManager(Database* db,
@@ -49,7 +60,13 @@ class ViewManager {
   // Deferred mode: maintains every registered view from the accumulated
   // log, clears the log, and returns the per-view costs. In eager mode the
   // log is always empty and this is a no-op.
-  std::map<std::string, MaintainResult> Refresh();
+  std::map<std::string, MaintainResult> Refresh(
+      const RefreshOptions& options = {});
+
+  // The shared modification logger (Fig. 3). Lets workload generators feed
+  // logged changes directly; prefer Insert/Delete/Update in eager mode
+  // (changes logged here do not trigger eager refresh).
+  ModificationLogger& logger() { return logger_; }
 
   // ---- ∆-script repository persistence (Fig. 3) ----
   // Serializes every registered view's compiled script. Loading re-attaches

@@ -23,4 +23,51 @@ std::string AccessStats::ToString() const {
                 ", writes=", tuple_writes, ", total=", TotalAccesses(), "}");
 }
 
+namespace {
+thread_local StatsArena* g_active_arena = nullptr;
+}  // namespace
+
+AccessStats& StatsArena::For(AccessStats* dest) {
+  if (last_hit_ < entries_.size() && entries_[last_hit_].first == dest) {
+    return entries_[last_hit_].second;
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == dest) {
+      last_hit_ = i;
+      return entries_[i].second;
+    }
+  }
+  last_hit_ = entries_.size();
+  entries_.emplace_back(dest, AccessStats());
+  return entries_.back().second;
+}
+
+AccessStats StatsArena::Sum(const AccessStats* dest) const {
+  for (const auto& [target, acc] : entries_) {
+    if (target == dest) return acc;
+  }
+  return AccessStats();
+}
+
+void StatsArena::Publish() {
+  for (auto& [dest, acc] : entries_) {
+    ChargeSink(dest) += acc;
+  }
+  entries_.clear();
+  last_hit_ = 0;
+}
+
+ScopedStatsArena::ScopedStatsArena(StatsArena* arena) : prev_(g_active_arena) {
+  g_active_arena = arena;
+}
+
+ScopedStatsArena::~ScopedStatsArena() { g_active_arena = prev_; }
+
+StatsArena* ScopedStatsArena::Current() { return g_active_arena; }
+
+AccessStats& ChargeSink(AccessStats* dest) {
+  StatsArena* arena = g_active_arena;
+  return arena != nullptr ? arena->For(dest) : *dest;
+}
+
 }  // namespace idivm

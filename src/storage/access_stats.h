@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace idivm {
 
@@ -32,6 +34,58 @@ struct AccessStats {
 
   std::string ToString() const;
 };
+
+// ---- Deferred charging (parallel ∆-script execution) ----------------------
+//
+// The cost model shares one AccessStats per database (plus one per table).
+// When script steps run concurrently, charging those shared counters
+// directly would be a data race and would make per-step cost attribution
+// order-dependent. A StatsArena redirects every charge on the installing
+// thread into private per-destination accumulators; the executor publishes
+// the arenas single-threaded, in script order, after the parallel region —
+// so the final counters are byte-identical to sequential execution.
+
+// Private accumulator keyed by the counter the charge was aimed at.
+class StatsArena {
+ public:
+  // The accumulator standing in for `dest` (created on first use).
+  AccessStats& For(AccessStats* dest);
+
+  // Accumulated charges aimed at `dest` (zero if none).
+  AccessStats Sum(const AccessStats* dest) const;
+
+  // Adds every accumulated entry into its destination — or, when a
+  // StatsArena is active on the calling thread, into that arena (so nested
+  // scopes compose: step arenas publish into an enclosing per-view arena,
+  // which publishes into the real counters). Clears this arena.
+  void Publish();
+
+ private:
+  // Small linear map: a script step touches a handful of tables.
+  std::vector<std::pair<AccessStats*, AccessStats>> entries_;
+  size_t last_hit_ = 0;
+};
+
+// Installs `arena` as the calling thread's charge target for its lifetime;
+// restores the previous target (arenas nest) on destruction.
+class ScopedStatsArena {
+ public:
+  explicit ScopedStatsArena(StatsArena* arena);
+  ~ScopedStatsArena();
+
+  ScopedStatsArena(const ScopedStatsArena&) = delete;
+  ScopedStatsArena& operator=(const ScopedStatsArena&) = delete;
+
+  // The calling thread's active arena, or nullptr.
+  static StatsArena* Current();
+
+ private:
+  StatsArena* prev_;
+};
+
+// The counter a charge aimed at `dest` must hit on this thread: `dest`
+// itself, or the active arena's accumulator for it.
+AccessStats& ChargeSink(AccessStats* dest);
 
 }  // namespace idivm
 

@@ -60,6 +60,9 @@ std::vector<size_t> Table::IndexProbe(const HashIndex& index,
 
 Table::HashIndex& Table::GetOrCreateIndex(const std::vector<size_t>& columns) {
   if (columns == key_indices_) return primary_;
+  // Serialized: concurrent read-path probes (parallel ∆-script steps) may
+  // both find the index missing and try to create it.
+  std::lock_guard<std::mutex> lock(secondary_mutex_);
   for (HashIndex& idx : secondary_) {
     if (idx.columns == columns) return idx;
   }

@@ -10,8 +10,10 @@
 #define IDIVM_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -118,17 +120,20 @@ class Table {
   void ResetLocalStats() { local_stats_.Reset(); }
 
  private:
+  // Charges go through ChargeSink so a thread executing a script step under
+  // a StatsArena accumulates privately instead of racing on the shared
+  // counters (parallel ∆-script execution; see access_stats.h).
   void ChargeLookup() {
-    ++stats_->index_lookups;
-    ++local_stats_.index_lookups;
+    ++ChargeSink(stats_).index_lookups;
+    ++ChargeSink(&local_stats_).index_lookups;
   }
   void ChargeReads(int64_t n) {
-    stats_->tuple_reads += n;
-    local_stats_.tuple_reads += n;
+    ChargeSink(stats_).tuple_reads += n;
+    ChargeSink(&local_stats_).tuple_reads += n;
   }
   void ChargeWrites(int64_t n) {
-    stats_->tuple_writes += n;
-    local_stats_.tuple_writes += n;
+    ChargeSink(stats_).tuple_writes += n;
+    ChargeSink(&local_stats_).tuple_writes += n;
   }
   struct HashIndex {
     std::vector<size_t> columns;  // column indices
@@ -155,7 +160,13 @@ class Table {
   size_t live_count_ = 0;
 
   HashIndex primary_;                  // unique index on key_indices_
-  std::vector<HashIndex> secondary_;   // created on demand
+  // Concurrent readers may both demand a missing secondary index, so
+  // creation is serialized and the container keeps references stable across
+  // appends (deque, not vector). Probing an existing index needs no lock:
+  // writers never run concurrently with readers of the same table (the
+  // parallel executor orders table writes against reads).
+  std::deque<HashIndex> secondary_;    // created on demand
+  std::mutex secondary_mutex_;
 };
 
 }  // namespace idivm

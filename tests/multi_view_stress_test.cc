@@ -166,6 +166,22 @@ TEST_F(MultiViewStressTest, DeferredSoak) {
   }
 }
 
+// Same soak as DeferredSoak, but every Refresh maintains the views on four
+// worker threads (one view per worker, charges deferred through per-view
+// arenas) — cross-checked against full recompute after each round.
+TEST_F(MultiViewStressTest, DeferredSoakParallel) {
+  LoadData(101);
+  ViewManager manager(&db_);
+  DefineAllViews(&manager);
+  Rng rng(202);  // same seed as DeferredSoak: identical batch sequence
+  for (int round = 0; round < 12; ++round) {
+    RandomBatch(&manager, &rng);
+    manager.Refresh(RefreshOptions{.threads = 4});
+    CheckAllViews(&manager, round);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
 TEST_F(MultiViewStressTest, EagerSoak) {
   LoadData(303);
   ViewManager manager(&db_, RefreshMode::kEager);
