@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench/bench_util.h"
 #include "src/common/thread_pool.h"
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
@@ -24,11 +25,13 @@ int main(int argc, char** argv) {
 
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = bench::ParsePositiveIntFlag(
+          "--threads", bench::FlagValue("--threads", argc, argv, &i));
+    } else {
+      bench::FlagError(argv[i], "is not recognized (supported: --threads N)");
     }
   }
-  if (threads < 1) threads = 1;
 
   BsmaConfig config;  // defaults: 2000 users, paper table ratios
   const int64_t kUpdates = 100;

@@ -22,11 +22,13 @@ int main(int argc, char** argv) {
 
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = ParsePositiveIntFlag(
+          "--threads", FlagValue("--threads", argc, argv, &i));
+    } else {
+      FlagError(argv[i], "is not recognized (supported: --threads N)");
     }
   }
-  if (threads < 1) threads = 1;
 
   std::printf("\nSection 6.2(b): insert-heavy workloads (aggregate view, "
               "200 modifications total)\n\n");

@@ -7,6 +7,7 @@
 #define IDIVM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -19,6 +20,37 @@
 #include "src/workload/devices_parts.h"
 
 namespace idivm::bench {
+
+// ---- Strict flag parsing -------------------------------------------------
+// The benches feed these values into thread pools and file paths; a typo'd
+// "--threads 0" or "--threads fast" must fail loudly (exit 2), not be
+// silently clamped to something runnable.
+
+[[noreturn]] inline void FlagError(const char* flag, const char* detail) {
+  std::fprintf(stderr, "error: flag %s %s\n", flag, detail);
+  std::exit(2);
+}
+
+// `argv[*i]` is `flag`; returns its value argument and advances *i.
+inline const char* FlagValue(const char* flag, int argc, char** argv,
+                             int* i) {
+  if (*i + 1 >= argc) FlagError(flag, "requires a value");
+  return argv[++*i];
+}
+
+// Parses a strictly positive integer (rejects garbage, 0, negatives,
+// trailing junk like "4x", and absurd values).
+inline int ParsePositiveIntFlag(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0 || value > (1 << 24)) {
+    std::fprintf(stderr,
+                 "error: flag %s expects a positive integer, got \"%s\"\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
 
 struct EngineResult {
   std::string engine;

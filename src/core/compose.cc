@@ -398,7 +398,7 @@ class Composer {
           data.Append(std::move(out_row));
         }
         opcache.BulkLoadUncounted(data);
-        db_->stats().Reset();
+        if (!options_.charge_materialization) db_->stats().Reset();
       }
       out_->cache_tables.push_back(opcache_name);
       step.opcache_table = opcache_name;
@@ -530,7 +530,7 @@ CompiledView CompileView(const std::string& view_name, const PlanPtr& plan,
     EvalContext ctx;
     ctx.db = &db;
     view.BulkLoadUncounted(Evaluate(annotated.plan, ctx));
-    db.stats().Reset();
+    if (!options.charge_materialization) db.stats().Reset();
   }
 
   // Apply root diffs to the view: deletes, updates, inserts.

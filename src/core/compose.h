@@ -39,6 +39,12 @@ struct CompilerOptions {
   // table itself, deciding dynamically at run time whether base accesses
   // are needed. Off by default (matches the published system).
   bool view_assisted_inserts = false;
+  // Accounting only: by default materializing the view and its caches is
+  // free (view-definition time is outside the Section 6 cost model) and the
+  // database counters are reset afterwards. Recovery's recompute fallback
+  // sets this so a restart-time rematerialization is charged like any other
+  // access (bench_recovery's recompute column).
+  bool charge_materialization = false;
   RuleOptions rules;
 };
 

@@ -12,14 +12,19 @@ ModificationLogger::ModificationLogger(Database* db) : db_(db) {
   IDIVM_CHECK(db_ != nullptr);
 }
 
-void ModificationLogger::Insert(const std::string& table, Row row) {
+bool ModificationLogger::Insert(const std::string& table, Row row) {
   Table& t = db_->GetTable(table);
+  if (t.LookupByKeyUncounted(ProjectRow(row, t.key_indices())).has_value()) {
+    return false;  // primary-key violation: reject without journaling
+  }
   Modification mod;
   mod.kind = DiffType::kInsert;
   mod.post = row;
+  if (journal_ != nullptr) journal_->JournalModification(table, mod);
   const bool ok = t.Insert(std::move(row));
   IDIVM_CHECK(ok, StrCat("insert into ", table, ": primary key exists"));
   log_[table].push_back(std::move(mod));
+  return true;
 }
 
 bool ModificationLogger::Delete(const std::string& table, const Row& key) {
@@ -29,6 +34,7 @@ bool ModificationLogger::Delete(const std::string& table, const Row& key) {
   Modification mod;
   mod.kind = DiffType::kDelete;
   mod.pre = std::move(*pre);
+  if (journal_ != nullptr) journal_->JournalModification(table, mod);
   t.DeleteByKey(key);
   log_[table].push_back(std::move(mod));
   return true;
@@ -54,9 +60,36 @@ bool ModificationLogger::Update(const std::string& table, const Row& key,
   for (size_t i = 0; i < set_indices.size(); ++i) {
     mod.post[set_indices[i]] = values[i];
   }
+  if (journal_ != nullptr) journal_->JournalModification(table, mod);
   t.UpdateByKey(key, set_indices, values);
   log_[table].push_back(std::move(mod));
   return true;
+}
+
+bool ModificationLogger::Apply(const std::string& table,
+                               const Modification& mod) {
+  const Table& t = db_->GetTable(table);
+  switch (mod.kind) {
+    case DiffType::kInsert:
+      return Insert(table, mod.post);
+    case DiffType::kDelete:
+      return Delete(table, ProjectRow(mod.pre, t.key_indices()));
+    case DiffType::kUpdate: {
+      std::vector<std::string> set_columns;
+      Row values;
+      for (size_t i = 0; i < t.schema().num_columns(); ++i) {
+        if (mod.pre[i].Compare(mod.post[i]) != 0 ||
+            mod.pre[i].type() != mod.post[i].type()) {
+          set_columns.push_back(t.schema().column(i).name);
+          values.push_back(mod.post[i]);
+        }
+      }
+      if (set_columns.empty()) return true;  // no-op update
+      return Update(table, ProjectRow(mod.pre, t.key_indices()), set_columns,
+                    values);
+    }
+  }
+  return false;
 }
 
 std::map<std::string, std::vector<Modification>>

@@ -18,6 +18,24 @@
 
 namespace idivm {
 
+// Durable journal hook: when attached to a ModificationLogger, every
+// accepted change is journaled *before* it mutates a Table (write-ahead
+// discipline), and refresh batch boundaries are journaled as commits. The
+// production implementation is persist::WalWriter; keeping the interface
+// here lets src/core stay independent of src/persist.
+class ModificationJournal {
+ public:
+  virtual ~ModificationJournal() = default;
+
+  // Journals one modification of `table`. Returns the assigned LSN.
+  virtual uint64_t JournalModification(const std::string& table,
+                                       const Modification& mod) = 0;
+
+  // Journals a batch boundary (everything journaled since the previous
+  // commit forms one recovery replay batch). Returns the assigned LSN.
+  virtual uint64_t JournalCommit() = 0;
+};
+
 // Applies modifications to base tables and logs them. Lookup of pre-images
 // is uncounted: logging happens at data-modification time, outside the
 // maintenance cost model.
@@ -25,8 +43,9 @@ class ModificationLogger {
  public:
   explicit ModificationLogger(Database* db);
 
-  // Inserts `row`; aborts on primary-key violation (caller bug).
-  void Insert(const std::string& table, Row row);
+  // Inserts `row`. Returns false — nothing applied, logged or journaled —
+  // when a row with the same primary key already exists.
+  bool Insert(const std::string& table, Row row);
 
   // Deletes the row with primary key `key`; returns false if absent.
   bool Delete(const std::string& table, const Row& key);
@@ -35,6 +54,17 @@ class ModificationLogger {
   // returns false if absent. Key columns may not be updated.
   bool Update(const std::string& table, const Row& key,
               const std::vector<std::string>& set_columns, const Row& values);
+
+  // Re-applies a recorded modification (WAL replay): dispatches on
+  // `mod.kind` to Insert/Delete/Update with the recorded rows. Returns
+  // false when the current table state rejects it (duplicate key / absent
+  // row) — recovery treats that as corruption.
+  bool Apply(const std::string& table, const Modification& mod);
+
+  // Attaches (or detaches, with nullptr) the write-ahead journal. Accepted
+  // changes are journaled before the table is mutated.
+  void set_journal(ModificationJournal* journal) { journal_ = journal; }
+  ModificationJournal* journal() const { return journal_; }
 
   const std::map<std::string, std::vector<Modification>>& log() const {
     return log_;
@@ -47,6 +77,7 @@ class ModificationLogger {
 
  private:
   Database* db_;
+  ModificationJournal* journal_ = nullptr;
   std::map<std::string, std::vector<Modification>> log_;
 };
 

@@ -57,9 +57,26 @@ void ViewManager::DropView(const std::string& name) {
   IDIVM_UNREACHABLE(StrCat("no such view: ", name));
 }
 
-void ViewManager::Insert(const std::string& table, Row row) {
-  logger_.Insert(table, std::move(row));
-  if (mode_ == RefreshMode::kEager) Refresh();
+void ViewManager::RecomputeAllViews() {
+  for (auto& [name, maintainer] : views_) {
+    const PlanPtr plan = maintainer->view().plan;
+    CompilerOptions options = maintainer->view().options;
+    // A restart-time rematerialization is real work; charge it (unlike
+    // view-definition time, which the cost model treats as free).
+    options.charge_materialization = true;
+    for (const std::string& cache : maintainer->view().cache_tables) {
+      db_->DropTable(cache);
+    }
+    db_->DropTable(name);
+    maintainer = std::make_unique<Maintainer>(
+        db_, CompileView(name, plan, *db_, options));
+  }
+}
+
+bool ViewManager::Insert(const std::string& table, Row row) {
+  const bool ok = logger_.Insert(table, std::move(row));
+  if (ok && mode_ == RefreshMode::kEager) Refresh();
+  return ok;
 }
 
 bool ViewManager::Delete(const std::string& table, const Row& key) {
@@ -117,6 +134,12 @@ std::string ViewManager::LoadRepository(const std::string& text) {
 std::map<std::string, MaintainResult> ViewManager::Refresh(
     const RefreshOptions& options) {
   std::map<std::string, MaintainResult> out;
+  // Journal the batch boundary first: recovery replays whole COMMIT-
+  // delimited batches, so the commit must cover exactly the modifications
+  // this refresh consumes.
+  if (logger_.journal() != nullptr && !logger_.log().empty()) {
+    logger_.journal()->JournalCommit();
+  }
   const auto net = logger_.NetChanges();
   logger_.Clear();
   if (net.empty()) return out;

@@ -51,8 +51,16 @@ class ViewManager {
   // Drops a view and its caches.
   void DropView(const std::string& name);
 
+  // Drops and recompiles every registered view from its plan against the
+  // current base tables, preserving definition order. This is recovery's
+  // `--recover-mode=recompute` fallback (and a repair tool for views whose
+  // materialized state is suspect).
+  void RecomputeAllViews();
+
   // ---- Data modification (logged; eager mode refreshes immediately) ----
-  void Insert(const std::string& table, Row row);
+  // Each returns false when the change is rejected (duplicate key on
+  // insert, absent row on delete/update) without logging or journaling.
+  bool Insert(const std::string& table, Row row);
   bool Delete(const std::string& table, const Row& key);
   bool Update(const std::string& table, const Row& key,
               const std::vector<std::string>& set_columns, const Row& values);
@@ -67,6 +75,14 @@ class ViewManager {
   // logged changes directly; prefer Insert/Delete/Update in eager mode
   // (changes logged here do not trigger eager refresh).
   ModificationLogger& logger() { return logger_; }
+
+  // Attaches a write-ahead journal (src/persist WalWriter): every accepted
+  // modification is journaled before it mutates a table, and Refresh
+  // journals a COMMIT record delimiting each maintenance batch — the unit
+  // recovery replays. Pass nullptr to detach.
+  void set_journal(ModificationJournal* journal) {
+    logger_.set_journal(journal);
+  }
 
   // ---- ∆-script repository persistence (Fig. 3) ----
   // Serializes every registered view's compiled script. Loading re-attaches

@@ -1,0 +1,290 @@
+#include "src/persist/codec.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "src/common/str_util.h"
+
+namespace idivm::persist {
+
+namespace {
+
+// Value tags on the wire; fixed forever (bump the container version to
+// change them).
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+// Frames larger than this are treated as corruption, not allocation
+// requests: a flipped bit in a length field must not ask for gigabytes.
+constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint8_t DataTypeTag(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return kTagNull;
+    case DataType::kInt64:
+      return kTagInt64;
+    case DataType::kDouble:
+      return kTagDouble;
+    case DataType::kString:
+      return kTagString;
+  }
+  return kTagNull;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void Encoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s.data(), s.size());
+}
+
+void Encoder::PutValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      PutU8(kTagNull);
+      break;
+    case DataType::kInt64:
+      PutU8(kTagInt64);
+      PutI64(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      PutU8(kTagDouble);
+      PutDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      PutU8(kTagString);
+      PutString(v.AsString());
+      break;
+  }
+}
+
+void Encoder::PutRow(const Row& row) {
+  PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(v);
+}
+
+void Encoder::PutSchema(const Schema& schema) {
+  PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    PutString(col.name);
+    PutU8(DataTypeTag(col.type));
+  }
+}
+
+void Decoder::Fail(const std::string& message) {
+  if (ok_) {
+    ok_ = false;
+    error_ = StrCat(message, " at offset ", pos_);
+  }
+}
+
+bool Decoder::Need(size_t n) {
+  if (!ok_) return false;
+  if (data_.size() - pos_ < n) {
+    Fail(StrCat("payload underflow (need ", n, " bytes)"));
+    return false;
+  }
+  return true;
+}
+
+uint8_t Decoder::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t Decoder::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::GetU64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Decoder::GetDouble() { return std::bit_cast<double>(GetU64()); }
+
+std::string Decoder::GetString() {
+  const uint32_t len = GetU32();
+  if (!Need(len)) return std::string();
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+Value Decoder::GetValue() {
+  const uint8_t tag = GetU8();
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt64:
+      return Value(GetI64());
+    case kTagDouble:
+      return Value(GetDouble());
+    case kTagString:
+      return Value(GetString());
+    default:
+      Fail(StrCat("unknown value tag ", static_cast<int>(tag)));
+      return Value::Null();
+  }
+}
+
+Row Decoder::GetRow() {
+  const uint32_t n = GetU32();
+  Row row;
+  if (!ok_ || n > kMaxFrameBytes) {
+    Fail("absurd row arity");
+    return row;
+  }
+  row.reserve(n);
+  for (uint32_t i = 0; i < n && ok_; ++i) row.push_back(GetValue());
+  return row;
+}
+
+Schema Decoder::GetSchema() {
+  const uint32_t n = GetU32();
+  std::vector<ColumnDef> cols;
+  if (!ok_ || n > kMaxFrameBytes) {
+    Fail("absurd column count");
+    return Schema();
+  }
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n && ok_; ++i) {
+    ColumnDef col;
+    col.name = GetString();
+    switch (GetU8()) {
+      case kTagNull:
+        col.type = DataType::kNull;
+        break;
+      case kTagInt64:
+        col.type = DataType::kInt64;
+        break;
+      case kTagDouble:
+        col.type = DataType::kDouble;
+        break;
+      case kTagString:
+        col.type = DataType::kString;
+        break;
+      default:
+        Fail("unknown column type tag");
+        break;
+    }
+    cols.push_back(std::move(col));
+  }
+  if (!ok_) return Schema();
+  return Schema(std::move(cols));
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  Encoder header;
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  header.PutU32(Crc32c(payload));
+  out->append(header.buffer());
+  out->append(payload.data(), payload.size());
+}
+
+FrameResult ReadFrame(std::string_view file, size_t offset) {
+  FrameResult result;
+  if (offset == file.size()) {
+    result.status = FrameStatus::kEnd;
+    return result;
+  }
+  if (file.size() - offset < 8) {
+    result.status = FrameStatus::kTorn;
+    result.error = "torn frame header";
+    return result;
+  }
+  Decoder header(file.substr(offset, 8));
+  const uint32_t size = header.GetU32();
+  const uint32_t crc = header.GetU32();
+  if (size > kMaxFrameBytes) {
+    result.status = FrameStatus::kCorrupt;
+    result.error = StrCat("absurd frame length ", size);
+    return result;
+  }
+  if (file.size() - offset - 8 < size) {
+    result.status = FrameStatus::kTorn;
+    result.error = StrCat("torn frame payload (", size, " bytes declared, ",
+                          file.size() - offset - 8, " present)");
+    return result;
+  }
+  const std::string_view payload = file.substr(offset + 8, size);
+  if (Crc32c(payload) != crc) {
+    result.status = FrameStatus::kCorrupt;
+    result.error = "frame CRC mismatch";
+    return result;
+  }
+  result.status = FrameStatus::kOk;
+  result.payload = payload;
+  result.end_offset = offset + 8 + size;
+  return result;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace idivm::persist

@@ -1,0 +1,47 @@
+#include "src/persist/fault.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/persist/codec.h"
+
+namespace idivm::persist {
+
+FaultFile::FaultFile(const std::string& source, std::string scratch)
+    : scratch_(std::move(scratch)) {
+  IDIVM_CHECK(ReadFileToString(source, &source_bytes_),
+              StrCat("FaultFile: cannot read ", source));
+}
+
+void FaultFile::WriteScratch(const std::string& bytes) {
+  std::FILE* f = std::fopen(scratch_.c_str(), "wb");
+  IDIVM_CHECK(f != nullptr, StrCat("FaultFile: cannot write ", scratch_));
+  if (!bytes.empty()) {
+    IDIVM_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                bytes.size());
+  }
+  std::fclose(f);
+}
+
+const std::string& FaultFile::TruncatedAt(uint64_t prefix) {
+  IDIVM_CHECK(prefix <= source_bytes_.size());
+  WriteScratch(source_bytes_.substr(0, prefix));
+  return scratch_;
+}
+
+const std::string& FaultFile::WithBitFlip(uint64_t offset, int bit) {
+  IDIVM_CHECK(offset < source_bytes_.size());
+  IDIVM_CHECK(bit >= 0 && bit < 8);
+  std::string bytes = source_bytes_;
+  bytes[offset] = static_cast<char>(bytes[offset] ^ (1 << bit));
+  WriteScratch(bytes);
+  return scratch_;
+}
+
+const std::string& FaultFile::Pristine() {
+  WriteScratch(source_bytes_);
+  return scratch_;
+}
+
+}  // namespace idivm::persist

@@ -1,0 +1,303 @@
+#include "src/persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/persist/codec.h"
+
+namespace idivm::persist {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'I', 'D', 'W', 'L'};
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderBytes = 8;
+// Buffered appends are pushed to the OS once the buffer passes this size
+// even under kNone/kEveryN (bounds memory, not durability).
+constexpr size_t kFlushThresholdBytes = 1 << 16;
+
+std::string EncodeRecord(const WalRecord& record) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(record.type));
+  enc.PutU64(record.lsn);
+  switch (record.type) {
+    case WalRecordType::kInsert:
+      enc.PutString(record.table);
+      enc.PutRow(record.mod.post);
+      break;
+    case WalRecordType::kDelete:
+      enc.PutString(record.table);
+      enc.PutRow(record.mod.pre);
+      break;
+    case WalRecordType::kUpdate:
+      enc.PutString(record.table);
+      enc.PutRow(record.mod.pre);
+      enc.PutRow(record.mod.post);
+      break;
+    case WalRecordType::kCommit:
+      break;
+    case WalRecordType::kCheckpoint:
+      enc.PutU64(record.snapshot_lsn);
+      enc.PutString(record.snapshot_path);
+      break;
+  }
+  return enc.TakeBuffer();
+}
+
+// Decodes one record payload. Returns false (with `error`) on malformed
+// payloads — treated as corruption by the reader.
+bool DecodeRecord(std::string_view payload, WalRecord* out,
+                  std::string* error) {
+  Decoder dec(payload);
+  const uint8_t type = dec.GetU8();
+  out->lsn = dec.GetU64();
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kInsert):
+      out->type = WalRecordType::kInsert;
+      out->mod.kind = DiffType::kInsert;
+      out->table = dec.GetString();
+      out->mod.post = dec.GetRow();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kDelete):
+      out->type = WalRecordType::kDelete;
+      out->mod.kind = DiffType::kDelete;
+      out->table = dec.GetString();
+      out->mod.pre = dec.GetRow();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kUpdate):
+      out->type = WalRecordType::kUpdate;
+      out->mod.kind = DiffType::kUpdate;
+      out->table = dec.GetString();
+      out->mod.pre = dec.GetRow();
+      out->mod.post = dec.GetRow();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kCommit):
+      out->type = WalRecordType::kCommit;
+      break;
+    case static_cast<uint8_t>(WalRecordType::kCheckpoint):
+      out->type = WalRecordType::kCheckpoint;
+      out->snapshot_lsn = dec.GetU64();
+      out->snapshot_path = dec.GetString();
+      break;
+    default:
+      *error = StrCat("unknown record type ", static_cast<int>(type));
+      return false;
+  }
+  if (!dec.ok()) {
+    *error = dec.error();
+    return false;
+  }
+  if (!dec.AtEnd()) {
+    *error = "trailing bytes in record payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseWalSyncPolicy(const std::string& text, WalSyncPolicy* out) {
+  if (text == "none") {
+    *out = WalSyncPolicy::kNone;
+  } else if (text == "on-commit") {
+    *out = WalSyncPolicy::kOnCommit;
+  } else if (text == "every-n") {
+    *out = WalSyncPolicy::kEveryN;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* WalSyncPolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kNone:
+      return "none";
+    case WalSyncPolicy::kOnCommit:
+      return "on-commit";
+    case WalSyncPolicy::kEveryN:
+      return "every-n";
+  }
+  return "?";
+}
+
+WalWriter::WalWriter(std::string path, int fd, const WalOptions& options,
+                     uint64_t next_lsn)
+    : path_(std::move(path)), fd_(fd), options_(options),
+      next_lsn_(next_lsn) {}
+
+std::unique_ptr<WalWriter> WalWriter::Open(const std::string& path,
+                                           const WalOptions& options,
+                                           uint64_t next_lsn) {
+  const bool fresh = next_lsn == 1;
+  const int flags =
+      fresh ? (O_WRONLY | O_CREAT | O_TRUNC) : (O_WRONLY | O_CREAT | O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return nullptr;
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(path, fd, options, next_lsn));
+  if (fresh) {
+    writer->buffer_.append(kWalMagic, sizeof(kWalMagic));
+    Encoder enc;
+    enc.PutU32(kWalVersion);
+    writer->buffer_.append(enc.buffer());
+    writer->Sync();
+  }
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  Flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t WalWriter::AppendRecord(const WalRecord& record) {
+  AppendFrame(EncodeRecord(record), &buffer_);
+  ++records_since_sync_;
+  MaybeSync(record.type);
+  return record.lsn;
+}
+
+void WalWriter::MaybeSync(WalRecordType type) {
+  switch (options_.sync) {
+    case WalSyncPolicy::kNone:
+      break;
+    case WalSyncPolicy::kOnCommit:
+      if (type == WalRecordType::kCommit ||
+          type == WalRecordType::kCheckpoint) {
+        Sync();
+      }
+      break;
+    case WalSyncPolicy::kEveryN:
+      if (records_since_sync_ >= options_.every_n ||
+          type == WalRecordType::kCheckpoint) {
+        Sync();
+      }
+      break;
+  }
+  if (buffer_.size() >= kFlushThresholdBytes) Flush();
+}
+
+uint64_t WalWriter::JournalModification(const std::string& table,
+                                        const Modification& mod) {
+  WalRecord record;
+  switch (mod.kind) {
+    case DiffType::kInsert:
+      record.type = WalRecordType::kInsert;
+      break;
+    case DiffType::kDelete:
+      record.type = WalRecordType::kDelete;
+      break;
+    case DiffType::kUpdate:
+      record.type = WalRecordType::kUpdate;
+      break;
+  }
+  record.lsn = next_lsn_++;
+  record.table = table;
+  record.mod = mod;
+  return AppendRecord(record);
+}
+
+uint64_t WalWriter::JournalCommit() {
+  WalRecord record;
+  record.type = WalRecordType::kCommit;
+  record.lsn = next_lsn_++;
+  return AppendRecord(record);
+}
+
+uint64_t WalWriter::JournalCheckpoint(uint64_t snapshot_lsn,
+                                      const std::string& snapshot_path) {
+  WalRecord record;
+  record.type = WalRecordType::kCheckpoint;
+  record.lsn = next_lsn_++;
+  record.snapshot_lsn = snapshot_lsn;
+  record.snapshot_path = snapshot_path;
+  return AppendRecord(record);
+}
+
+void WalWriter::Flush() {
+  size_t done = 0;
+  while (done < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + done, buffer_.size() - done);
+    IDIVM_CHECK(n >= 0, StrCat("wal write failed: ", std::strerror(errno)));
+    done += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+}
+
+void WalWriter::Sync() {
+  Flush();
+  ::fsync(fd_);
+  records_since_sync_ = 0;
+}
+
+WalReadResult ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::string file;
+  if (!ReadFileToString(path, &file)) {
+    result.error = StrCat("cannot read WAL at ", path);
+    return result;
+  }
+  if (file.empty()) {
+    // A log that was never created: valid and empty.
+    result.ok = true;
+    return result;
+  }
+  if (file.size() < kWalHeaderBytes ||
+      std::memcmp(file.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    result.error = StrCat(path, " is not a WAL (bad magic)");
+    return result;
+  }
+  {
+    Decoder header(std::string_view(file).substr(4, 4));
+    const uint32_t version = header.GetU32();
+    if (version != kWalVersion) {
+      result.error = StrCat("unsupported WAL version ", version);
+      return result;
+    }
+  }
+  result.ok = true;
+  result.valid_bytes = kWalHeaderBytes;
+  size_t offset = kWalHeaderBytes;
+  uint64_t prev_lsn = 0;
+  while (true) {
+    const FrameResult frame = ReadFrame(file, offset);
+    if (frame.status == FrameStatus::kEnd) break;
+    if (frame.status != FrameStatus::kOk) {
+      result.truncated = true;
+      result.truncate_reason = frame.error;
+      break;
+    }
+    WalRecord record;
+    std::string error;
+    if (!DecodeRecord(frame.payload, &record, &error)) {
+      result.truncated = true;
+      result.truncate_reason = StrCat("undecodable record: ", error);
+      break;
+    }
+    if (record.lsn <= prev_lsn) {
+      result.truncated = true;
+      result.truncate_reason =
+          StrCat("non-monotone LSN ", record.lsn, " after ", prev_lsn);
+      break;
+    }
+    prev_lsn = record.lsn;
+    offset = frame.end_offset;
+    result.valid_bytes = offset;
+    result.records.push_back(std::move(record));
+    result.record_end_offsets.push_back(offset);
+  }
+  return result;
+}
+
+bool TruncateFile(const std::string& path, uint64_t size) {
+  return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+}  // namespace idivm::persist

@@ -1,0 +1,133 @@
+// Append-only write-ahead log of base-table modifications. A WalWriter is
+// the durable ModificationJournal implementation: every change accepted by
+// the ModificationLogger is journaled here before it mutates a Table, and
+// ViewManager::Refresh journals a COMMIT record delimiting each refresh
+// batch. Recovery (src/persist/recovery) replays the log in COMMIT-
+// delimited batches through the compiled ∆-scripts.
+//
+// File layout: an 8-byte header (magic "IDWL" + u32 version) followed by
+// CRC32C-framed records (src/persist/codec). Record payloads carry a
+// monotone LSN, so a reader can both detect torn/corrupt tails (framing)
+// and skip records already covered by a snapshot (LSN).
+
+#ifndef IDIVM_PERSIST_WAL_H_
+#define IDIVM_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/modification_log.h"
+#include "src/diff/compaction.h"
+
+namespace idivm::persist {
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
+  kCommit = 4,
+  kCheckpoint = 5,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCommit;
+  uint64_t lsn = 0;
+  // Modification records only: the table and the recorded rows (insert
+  // carries post, delete pre, update both).
+  std::string table;
+  Modification mod;
+  // Checkpoint records only: the LSN the snapshot covers and its path.
+  uint64_t snapshot_lsn = 0;
+  std::string snapshot_path;
+};
+
+// When appended bytes are pushed to the OS and fsynced.
+enum class WalSyncPolicy {
+  kNone,      // buffered; flushed on close (fastest, weakest)
+  kOnCommit,  // flush + fsync at every COMMIT record (default)
+  kEveryN,    // flush + fsync every n records
+};
+
+// Parses "none" / "on-commit" / "every-n"; returns false on anything else.
+bool ParseWalSyncPolicy(const std::string& text, WalSyncPolicy* out);
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
+struct WalOptions {
+  WalSyncPolicy sync = WalSyncPolicy::kOnCommit;
+  int every_n = 64;  // for kEveryN
+};
+
+class WalWriter : public ModificationJournal {
+ public:
+  // Creates (truncating any existing file) a log at `path` whose first
+  // record gets `next_lsn`. To append to an existing log, read it first,
+  // truncate the file to its valid prefix, and pass last LSN + 1. Returns
+  // nullptr if the file cannot be opened.
+  static std::unique_ptr<WalWriter> Open(const std::string& path,
+                                         const WalOptions& options = {},
+                                         uint64_t next_lsn = 1);
+
+  ~WalWriter() override;  // flushes (but does not fsync under kNone)
+
+  // ModificationJournal: journals one modification / batch commit.
+  uint64_t JournalModification(const std::string& table,
+                               const Modification& mod) override;
+  uint64_t JournalCommit() override;
+
+  // Journals that a snapshot covering everything up to `snapshot_lsn` was
+  // written at `snapshot_path` (always flushed + fsynced).
+  uint64_t JournalCheckpoint(uint64_t snapshot_lsn,
+                             const std::string& snapshot_path);
+
+  // Pushes buffered appends to the OS.
+  void Flush();
+  // Flush + fsync.
+  void Sync();
+
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, const WalOptions& options,
+            uint64_t next_lsn);
+
+  uint64_t AppendRecord(const WalRecord& record);
+  void MaybeSync(WalRecordType type);
+
+  std::string path_;
+  int fd_ = -1;
+  WalOptions options_;
+  uint64_t next_lsn_ = 1;
+  std::string buffer_;
+  int records_since_sync_ = 0;
+};
+
+struct WalReadResult {
+  bool ok = false;      // file readable and header valid
+  std::string error;    // set when !ok
+  std::vector<WalRecord> records;
+  // File offset just past each record, parallel to `records` (the crash
+  // points of the fault-injection tests).
+  std::vector<uint64_t> record_end_offsets;
+  // True when reading stopped before the end of the file (torn or corrupt
+  // record); `truncate_reason` says why and `valid_bytes` is the length of
+  // the longest valid prefix (header + whole records).
+  bool truncated = false;
+  std::string truncate_reason;
+  uint64_t valid_bytes = 0;
+};
+
+// Reads all valid records of the log at `path`, stopping at the first
+// torn or corrupt record. An LSN that fails to increase monotonically is
+// also treated as corruption.
+WalReadResult ReadWal(const std::string& path);
+
+// Cuts `path` back to `size` bytes (discarding a torn tail before
+// reopening a log for append). Returns false on I/O error.
+bool TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace idivm::persist
+
+#endif  // IDIVM_PERSIST_WAL_H_

@@ -241,6 +241,13 @@ Relation Table::SnapshotUncounted() const {
   return out;
 }
 
+void Table::ForEachRowUncounted(
+    const std::function<void(const Row&)>& fn) const {
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (live_[slot]) fn(rows_[slot]);
+  }
+}
+
 void Table::BulkLoadUncounted(const Relation& data) {
   IDIVM_CHECK(data.schema().ColumnNames() == schema_.ColumnNames(),
               StrCat("bulk load schema mismatch for ", name_));

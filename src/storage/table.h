@@ -106,6 +106,10 @@ class Table {
   // recomputation baselines that are costed separately).
   Relation SnapshotUncounted() const;
 
+  // Streams every live row to `fn` without charging accesses or copying
+  // the relation (snapshot serialization, src/persist).
+  void ForEachRowUncounted(const std::function<void(const Row&)>& fn) const;
+
   // Replaces the entire contents without charging accesses (bulk load).
   void BulkLoadUncounted(const Relation& data);
 

@@ -17,7 +17,7 @@ class ModLogTest : public ::testing::Test {
 
 TEST_F(ModLogTest, LoggerAppliesAndLogs) {
   ModificationLogger logger(&db_);
-  logger.Insert("parts", {Value("P4"), Value(40.0)});
+  EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(40.0)}));
   EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"},
                             {Value(11.0)}));
   EXPECT_TRUE(logger.Delete("parts", {Value("P2")}));
@@ -32,6 +32,41 @@ TEST_F(ModLogTest, LoggerAppliesAndLogs) {
   EXPECT_EQ(net.at("parts").size(), 3u);
   logger.Clear();
   EXPECT_TRUE(logger.log().empty());
+}
+
+TEST_F(ModLogTest, DuplicateKeyInsertRejectedWithoutSideEffects) {
+  ModificationLogger logger(&db_);
+  // P1 already exists: the insert is refused, and neither the table nor the
+  // log (nor an attached journal) sees anything.
+  EXPECT_FALSE(logger.Insert("parts", {Value("P1"), Value(99.0)}));
+  EXPECT_EQ(db_.GetTable("parts").size(), 3u);
+  EXPECT_TRUE(logger.log().empty());
+  const auto row = db_.GetTable("parts").LookupByKeyUncounted({Value("P1")});
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), 10.0);  // original price intact
+  // The same key is insertable again once the holder is deleted.
+  EXPECT_TRUE(logger.Delete("parts", {Value("P1")}));
+  EXPECT_TRUE(logger.Insert("parts", {Value("P1"), Value(99.0)}));
+}
+
+TEST_F(ModLogTest, ApplyReplaysRecordedModifications) {
+  // Apply() is the recovery path: it re-applies a Modification exactly as
+  // the logger recorded it.
+  ModificationLogger source(&db_);
+  EXPECT_TRUE(source.Insert("parts", {Value("P4"), Value(40.0)}));
+  EXPECT_TRUE(source.Update("parts", {Value("P1")}, {"price"},
+                            {Value(11.0)}));
+  EXPECT_TRUE(source.Delete("parts", {Value("P2")}));
+  std::vector<Modification> recorded = source.log().at("parts");
+
+  Database replica;
+  testing::LoadRunningExample(&replica);
+  ModificationLogger replay(&replica);
+  for (const Modification& mod : recorded) {
+    EXPECT_TRUE(replay.Apply("parts", mod));
+  }
+  EXPECT_TRUE(replica.GetTable("parts").SnapshotUncounted().BagEquals(
+      db_.GetTable("parts").SnapshotUncounted()));
 }
 
 TEST_F(ModLogTest, LoggerRejectsKeyMutation) {

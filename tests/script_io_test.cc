@@ -6,6 +6,7 @@
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
 #include "src/core/script_io.h"
+#include "src/workload/bsma.h"
 #include "tests/test_util.h"
 
 namespace idivm {
@@ -92,6 +93,26 @@ TEST_F(ScriptIoRoundTrip, SecondSerializationIsStable) {
   const LoadResult loaded = LoadCompiledView(once, db_);
   ASSERT_TRUE(loaded.ok) << loaded.error;
   EXPECT_EQ(SerializeCompiledView(loaded.view), once);
+}
+
+TEST(ScriptIoBsmaTest, EveryCompiledViewIsASerializationFixedPoint) {
+  // serialize → parse → serialize must be the identity on the textual form
+  // for every BSMA view of Fig. 9b — the repository a snapshot embeds has to
+  // survive arbitrarily many save/recover cycles byte-identically.
+  Database db;
+  BsmaConfig config;
+  config.users = 20;
+  config.friends_per_user = 3;
+  BsmaWorkload workload(&db, config);
+  for (const std::string& view : BsmaWorkload::ViewNames()) {
+    SCOPED_TRACE(view);
+    CompiledView original = CompileView(view, workload.ViewPlan(view), db);
+    const std::string once = SerializeCompiledView(original);
+    const LoadResult loaded = LoadCompiledView(once, db);
+    ASSERT_TRUE(loaded.ok) << view << ": " << loaded.error;
+    const std::string twice = SerializeCompiledView(loaded.view);
+    EXPECT_EQ(twice, once) << view;
+  }
 }
 
 TEST_F(ScriptIoRoundTrip, ErrorsReported) {
