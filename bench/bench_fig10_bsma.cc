@@ -17,24 +17,119 @@
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
+#include "src/core/view_manager.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/status.h"
 #include "src/tivm/tuple_ivm.h"
 #include "src/workload/bsma.h"
+
+namespace {
+
+// Chaos mode: maintain every BSMA view through the fault-isolated
+// TryRefresh path with random fault injection, and report how far down the
+// degradation ladder each incident went. Exercises the exact rollback /
+// retry / recompute / quarantine machinery the chaos tests assert on, at
+// bench scale.
+int RunChaosMode(const idivm::BsmaConfig& config, int64_t updates,
+                 int threads, double fault_rate,
+                 idivm::DegradePolicy policy, int64_t max_epoch_ops) {
+  using namespace idivm;
+  Database db;
+  BsmaWorkload workload(&db, config);
+  ViewManager vm(&db);
+  for (const std::string& view : BsmaWorkload::ViewNames()) {
+    vm.DefineView(view, workload.ViewPlan(view));
+  }
+  workload.ApplyUserUpdates(&vm.logger(), updates);
+
+  FaultPlan plan;
+  plan.rate = fault_rate;
+  plan.seed = 20260805;
+  FaultInjector injector(plan);
+  RefreshOptions options;
+  options.script_threads = threads;
+  options.degrade = policy;
+  options.fault = &injector;
+  options.max_epoch_ops = max_epoch_ops;
+
+  db.stats().Reset();
+  RefreshReport report;
+  const Status status = vm.TryRefresh(options, &report);
+
+  std::printf("\nChaos refresh: fault rate %.3f, policy %s, %lld update "
+              "diffs, %zu views\n",
+              fault_rate, DegradePolicyName(policy),
+              static_cast<long long>(updates),
+              BsmaWorkload::ViewNames().size());
+  std::printf("status: %s\n", status.ToString().c_str());
+  std::printf("fault sites visited %llu, faults fired %llu\n",
+              static_cast<unsigned long long>(injector.sites_visited()),
+              static_cast<unsigned long long>(injector.faults_fired()));
+  const AccessStats& stats = db.stats();
+  std::printf("ladder: rollbacks=%lld retries=%lld recomputes=%lld "
+              "quarantines=%lld\n",
+              static_cast<long long>(stats.epoch_rollbacks),
+              static_cast<long long>(stats.degraded_retries),
+              static_cast<long long>(stats.recompute_fallbacks),
+              static_cast<long long>(stats.quarantines));
+  for (const ViewIncident& incident : report.incidents) {
+    std::printf("  incident: view=%-4s rung=%d recovered=%s error=%s\n",
+                incident.view.c_str(), incident.rung,
+                incident.recovered ? "yes" : "no",
+                incident.error.ToString().c_str());
+  }
+  for (const std::string& view : vm.QuarantinedViews()) {
+    std::printf("  quarantined: %s (repairing)\n", view.c_str());
+    vm.RepairView(view);
+  }
+  return status.ok() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace idivm;
 
   int threads = 1;
+  int users = 0;  // 0 = BsmaConfig default
+  double fault_rate = 0.0;
+  DegradePolicy policy = DegradePolicy::kQuarantine;
+  int64_t max_epoch_ops = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       threads = bench::ParsePositiveIntFlag(
           "--threads", bench::FlagValue("--threads", argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      users = bench::ParsePositiveIntFlag(
+          "--users", bench::FlagValue("--users", argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--inject-fault-rate") == 0) {
+      fault_rate = bench::ParseRateFlag(
+          "--inject-fault-rate",
+          bench::FlagValue("--inject-fault-rate", argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--degrade-policy") == 0) {
+      policy = bench::ParseDegradePolicyFlag(
+          "--degrade-policy",
+          bench::FlagValue("--degrade-policy", argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--max-epoch-ops") == 0) {
+      max_epoch_ops = bench::ParseNonNegativeInt64Flag(
+          "--max-epoch-ops",
+          bench::FlagValue("--max-epoch-ops", argc, argv, &i));
     } else {
-      bench::FlagError(argv[i], "is not recognized (supported: --threads N)");
+      bench::FlagError(argv[i],
+                       "is not recognized (supported: --threads N, --users N, "
+                       "--inject-fault-rate R, --degrade-policy P, "
+                       "--max-epoch-ops N)");
     }
   }
 
   BsmaConfig config;  // defaults: 2000 users, paper table ratios
+  if (users > 0) config.users = users;
   const int64_t kUpdates = 100;
+
+  if (fault_rate > 0.0 || max_epoch_ops > 0) {
+    return RunChaosMode(config, kUpdates, threads, fault_rate, policy,
+                        max_epoch_ops);
+  }
 
   std::printf("\nFigure 10: BSMA social analytics, %lld user-attribute "
               "update diffs\n",

@@ -6,15 +6,18 @@
 #ifndef IDIVM_BENCH_BENCH_UTIL_H_
 #define IDIVM_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
+#include "src/core/view_manager.h"
 #include "src/sdbt/sdbt.h"
 #include "src/tivm/tuple_ivm.h"
 #include "src/workload/devices_parts.h"
@@ -50,6 +53,50 @@ inline int ParsePositiveIntFlag(const char* flag, const char* text) {
     std::exit(2);
   }
   return static_cast<int>(value);
+}
+
+// Parses a non-negative integer (0 is allowed: "unlimited" for budgets
+// like --max-epoch-ops).
+inline int64_t ParseNonNegativeInt64Flag(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0) {
+    std::fprintf(
+        stderr, "error: flag %s expects a non-negative integer, got \"%s\"\n",
+        flag, text);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(value);
+}
+
+// Parses a probability in [0, 1] (e.g. --inject-fault-rate 0.05).
+inline double ParseRateFlag(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      !(value >= 0.0 && value <= 1.0)) {
+    std::fprintf(stderr,
+                 "error: flag %s expects a rate in [0, 1], got \"%s\"\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+// Parses a degradation-ladder policy name (--degrade-policy).
+inline DegradePolicy ParseDegradePolicyFlag(const char* flag,
+                                            const char* text) {
+  const std::optional<DegradePolicy> policy = ParseDegradePolicy(text);
+  if (!policy.has_value()) {
+    std::fprintf(stderr,
+                 "error: flag %s expects one of fail-fast, retry, recompute, "
+                 "quarantine; got \"%s\"\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return *policy;
 }
 
 struct EngineResult {

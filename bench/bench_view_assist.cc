@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <set>
 
+#include "src/common/check.h"
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
@@ -58,7 +59,9 @@ int main() {
           if (!db.GetTable("devices_parts")
                    .LookupByKeyUncounted({Value(did), Value(pid)})
                    .has_value()) {
-            logger.Insert("devices_parts", {Value(did), Value(pid)});
+            IDIVM_CHECK(
+                logger.Insert("devices_parts", {Value(did), Value(pid)}),
+                "link was just checked absent");
             ++added;
             break;
           }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "src/common/check.h"
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
@@ -67,12 +68,16 @@ int main() {
   ModificationLogger logger(&db);
 
   // An approval arrives for order 3: it leaves the unapproved branch.
-  logger.Insert("approvals",
-                {Value(int64_t{4}), Value(int64_t{3}), Value(int64_t{1})});
+  IDIVM_CHECK(logger.Insert("approvals", {Value(int64_t{4}), Value(int64_t{3}),
+                                          Value(int64_t{1})}),
+              "approval ID 4 is fresh");
   // Approval of order 5 gets revoked: it returns.
-  logger.Delete("approvals", {Value(int64_t{2})});
+  IDIVM_CHECK(logger.Delete("approvals", {Value(int64_t{2})}),
+              "approval 2 exists");
   // Order 7's amount crosses the threshold.
-  logger.Update("orders", {Value(int64_t{7})}, {"amount"}, {Value(2500.0)});
+  IDIVM_CHECK(logger.Update("orders", {Value(int64_t{7})}, {"amount"},
+                            {Value(2500.0)}),
+              "order 7 exists");
   maintainer.Maintain(logger.NetChanges());
   logger.Clear();
 
@@ -81,8 +86,9 @@ int main() {
                   .ToString().c_str());
 
   // Downgrade an approval below the threshold: order 8 becomes unapproved.
-  logger.Update("approvals", {Value(int64_t{3})}, {"level"},
-                {Value(int64_t{0})});
+  IDIVM_CHECK(logger.Update("approvals", {Value(int64_t{3})}, {"level"},
+                            {Value(int64_t{0})}),
+              "approval 3 exists");
   maintainer.Maintain(logger.NetChanges());
   std::printf("After downgrading order 8's approval:\n%s\n",
               db.GetTable("watchlist").SnapshotUncounted().Sorted()

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "src/common/check.h"
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
@@ -70,7 +71,9 @@ int main() {
 
   // ---- Data modification time: Example 1.1 ----
   ModificationLogger logger(&db);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
+  IDIVM_CHECK(logger.Update("parts", {Value("P1")}, {"price"},
+                            {Value(11.0)}),
+              "part P1 exists");
   std::printf("Applied: UPDATE parts SET price = 11 WHERE pid = 'P1'\n");
   std::printf("The i-diff ∆u_parts has ONE tuple; the equivalent t-diff "
               "D_u_V needs one tuple per view row (here: two).\n\n");

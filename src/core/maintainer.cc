@@ -124,12 +124,12 @@ class AggregateExecutor {
       : db_(db), step_(step), transients_(transients), ctx_(ctx),
         result_(result) {}
 
-  void Run() {
-    BindSpecs();
-    AccumulateDeltas();
+  Status Run() {
+    IDIVM_RETURN_IF_ERROR(BindSpecs());
+    IDIVM_RETURN_IF_ERROR(AccumulateDeltas());
     if (step_.mode == AggregateStep::Mode::kIncremental) {
       if (!step_.opcache_table.empty()) {
-        RunIncrementalWithOpcache();
+        IDIVM_RETURN_IF_ERROR(RunIncrementalWithOpcache());
       } else {
         RunIncrementalDirect();
       }
@@ -137,17 +137,20 @@ class AggregateExecutor {
       RunRecompute();
     }
     EmitOutputs();
+    return OkStatus();
   }
 
  private:
-  const Relation& Rows(const std::string& name) {
+  Status Rows(const std::string& name, const Relation** out) {
     const auto it = transients_->find(name);
-    IDIVM_CHECK(it != transients_->end(),
-                StrCat("γ input rows missing: ", name));
-    return it->second;
+    if (it == transients_->end()) {
+      return CorruptScriptError(StrCat("γ input rows missing: ", name));
+    }
+    *out = &it->second;
+    return OkStatus();
   }
 
-  void BindSpecs() {
+  Status BindSpecs() {
     group_cols_ = step_.input_schema.ColumnIndices(step_.group_by);
     for (const AggSpec& spec : step_.aggs) {
       if (spec.arg != nullptr) {
@@ -160,11 +163,15 @@ class AggregateExecutor {
     const DiffSchema* upd = FindSchema(step_.out_update);
     const DiffSchema* ins = FindSchema(step_.out_insert);
     const DiffSchema* del = FindSchema(step_.out_delete);
-    IDIVM_CHECK(upd != nullptr && ins != nullptr && del != nullptr,
-                "aggregate output diffs not registered");
+    if (upd == nullptr || ins == nullptr || del == nullptr) {
+      return CorruptScriptError(StrCat("γ-maintain ", step_.node_name,
+                                       ": aggregate output diffs not "
+                                       "registered"));
+    }
     update_ = std::make_unique<DiffInstance>(*upd);
     insert_ = std::make_unique<DiffInstance>(*ins);
     delete_ = std::make_unique<DiffInstance>(*del);
+    return OkStatus();
   }
 
   const DiffSchema* FindSchema(const std::string& name) {
@@ -175,6 +182,7 @@ class AggregateExecutor {
 
  public:
   void set_script(const DeltaScript* script) { script_schema_lookup_ = script; }
+  void set_undo(EpochUndo* undo) { undo_ = undo; }
 
  private:
   void Contribute(const Row& row, double sign) {
@@ -197,32 +205,31 @@ class AggregateExecutor {
     }
   }
 
-  void AccumulateDeltas() {
+  Status AccumulateDeltas() {
     for (const AggregateInput& input : step_.inputs) {
+      const Relation* pre = nullptr;
+      const Relation* post = nullptr;
       switch (input.type) {
         case DiffType::kInsert:
-          for (const Row& row : Rows(input.post_rows).rows()) {
-            Contribute(row, +1);
-          }
+          IDIVM_RETURN_IF_ERROR(Rows(input.post_rows, &post));
+          for (const Row& row : post->rows()) Contribute(row, +1);
           break;
         case DiffType::kDelete:
-          for (const Row& row : Rows(input.pre_rows).rows()) {
-            Contribute(row, -1);
-          }
+          IDIVM_RETURN_IF_ERROR(Rows(input.pre_rows, &pre));
+          for (const Row& row : pre->rows()) Contribute(row, -1);
           break;
         case DiffType::kUpdate: {
           // Sum deltas do not require row alignment: subtract all pre
           // images, add all post images.
-          for (const Row& row : Rows(input.pre_rows).rows()) {
-            Contribute(row, -1);
-          }
-          for (const Row& row : Rows(input.post_rows).rows()) {
-            Contribute(row, +1);
-          }
+          IDIVM_RETURN_IF_ERROR(Rows(input.pre_rows, &pre));
+          IDIVM_RETURN_IF_ERROR(Rows(input.post_rows, &post));
+          for (const Row& row : pre->rows()) Contribute(row, -1);
+          for (const Row& row : post->rows()) Contribute(row, +1);
           break;
         }
       }
     }
+    return OkStatus();
   }
 
   bool DeltaIsZero(const GroupDelta& d) const {
@@ -288,7 +295,7 @@ class AggregateExecutor {
   }
 
   // ---- incremental with the SUM+COUNT operator cache (Table 12) ----
-  void RunIncrementalWithOpcache() {
+  Status RunIncrementalWithOpcache() {
     Table& opcache = db_->GetTable(step_.opcache_table);
     const Schema& cache_schema = opcache.schema();
     const std::vector<size_t> key_cols =
@@ -304,6 +311,9 @@ class AggregateExecutor {
     for (const auto& [key, delta] : deltas_) {
       if (DeltaIsZero(delta)) continue;
       Row post_image;
+      std::vector<Row> pre_images;
+      std::vector<Row> post_images;
+      const bool capture = undo_ != nullptr;
       const size_t touched = opcache.UpdateRowsWhereEquals(
           key_cols, key,
           [&](Row& row) {
@@ -316,13 +326,24 @@ class AggregateExecutor {
             }
             row[count_col] = Value(row[count_col].AsInt64() + delta.row_delta);
             post_image = row;
-          });
+          },
+          capture ? &pre_images : nullptr, capture ? &post_images : nullptr);
+      if (undo_ != nullptr) {
+        for (size_t j = 0; j < pre_images.size(); ++j) {
+          undo_->Record(&opcache, Modification{DiffType::kUpdate,
+                                               pre_images[j], post_images[j]});
+        }
+      }
       int64_t count_post;
       if (touched == 0) {
+        if (delta.row_delta <= 0) {
+          // A vanished group the opcache has never seen: the input diffs
+          // violate the Section 2 effectiveness conditions.
+          return ApplyConflictError(
+              "negative delta for an unknown group — non-effective "
+              "input diffs");
+        }
         // New group: insert the opcache row.
-        IDIVM_CHECK(delta.row_delta > 0,
-                    "negative delta for an unknown group — non-effective "
-                    "input diffs");
         Row row = key;
         for (size_t k = 0; k < step_.aggs.size(); ++k) {
           row.push_back(Value(delta.sum_delta[k]));
@@ -332,6 +353,9 @@ class AggregateExecutor {
         // matches the compose-time schema.
         row.push_back(Value(delta.row_delta));
         opcache.Insert(row);
+        if (undo_ != nullptr) {
+          undo_->Record(&opcache, Modification{DiffType::kInsert, Row(), row});
+        }
         post_image = row;
         count_post = delta.row_delta;
       } else {
@@ -340,6 +364,10 @@ class AggregateExecutor {
       const int64_t count_pre = count_post - delta.row_delta;
       if (count_post == 0) {
         opcache.DeleteByKey(key);
+        if (undo_ != nullptr) {
+          undo_->Record(&opcache,
+                        Modification{DiffType::kDelete, post_image, Row()});
+        }
         if (count_pre > 0) delete_->Append(key);
         continue;
       }
@@ -358,6 +386,7 @@ class AggregateExecutor {
         update_->Append(std::move(row));
       }
     }
+    return OkStatus();
   }
 
   // ---- general recompute rule (Table 7) ----
@@ -526,6 +555,7 @@ class AggregateExecutor {
   EvalContext* ctx_;
   MaintainResult* result_;
   const DeltaScript* script_schema_lookup_ = nullptr;
+  EpochUndo* undo_ = nullptr;
 
   std::vector<size_t> group_cols_;
   std::vector<std::optional<BoundExpr>> args_;
@@ -650,6 +680,16 @@ MaintainResult Maintainer::Maintain(
     const std::map<std::string, std::vector<Modification>>& net_changes,
     const MaintainOptions& options) {
   MaintainResult result;
+  const Status status = TryMaintain(net_changes, options, &result);
+  IDIVM_CHECK(status.ok(), status.ToString());
+  return result;
+}
+
+Status Maintainer::TryMaintain(
+    const std::map<std::string, std::vector<Modification>>& net_changes,
+    const MaintainOptions& options, MaintainResult* out) {
+  MaintainResult result;
+  EpochUndo undo;
 
   // Input diff instances.
   std::map<std::string, DiffInstance> instances =
@@ -707,57 +747,92 @@ MaintainResult Maintainer::Maintain(
   // transients go to `outputs` for the caller to publish — except for the
   // blocking γ steps, which run exclusively and use the shared map
   // directly (they bind scratch relations mid-evaluation).
+  //
+  // Fault sites: one at every step entry (each rule boundary of the
+  // script, visited by whichever worker runs the step) and one inside each
+  // APPLY just before the DML executes. On error the step's partial
+  // mutations are already in `undo`; the caller rolls the epoch back.
   auto execute_step = [&](size_t i, EvalContext& step_ctx,
                           std::vector<std::pair<std::string, Relation>>*
-                              outputs) {
+                              outputs) -> Status {
     const ScriptStep& step = steps[i];
     StepRun& run = runs[i];
     ScopedStatsArena scope(&run.arena);
     const auto t0 = std::chrono::steady_clock::now();
-    if (step.compute.has_value()) {
-      const ComputeDiffStep& cs = *step.compute;
-      Relation rel = Evaluate(cs.query, step_ctx);
-      if (!cs.raw_relation) {
-        DiffInstance inst(*view_.script.FindDiffSchema(cs.out_name),
-                          std::move(rel));
-        inst.DeduplicateByIds();
-        outputs->emplace_back(cs.out_name, inst.data());
-      } else {
-        outputs->emplace_back(cs.out_name, std::move(rel));
+    Status status = [&]() -> Status {
+      if (options.fault != nullptr) {
+        IDIVM_RETURN_IF_ERROR(
+            options.fault->Check(StrCat("step:", access[i].label)));
       }
-    } else if (step.apply.has_value()) {
-      const ApplyStep& as = *step.apply;
-      const DiffSchema* schema = view_.script.FindDiffSchema(as.diff_name);
-      IDIVM_CHECK(schema != nullptr,
-                  StrCat("apply of unregistered diff ", as.diff_name));
-      const auto it = step_ctx.transient.find(as.diff_name);
-      IDIVM_CHECK(it != step_ctx.transient.end(),
-                  StrCat("apply of unbound diff ", as.diff_name));
-      DiffInstance inst(*schema, *it->second);
-      Table& target = db_->GetTable(as.target_table);
-      if (apply_observer_ != nullptr) {
-        apply_observer_(as.target_table, inst);
+      if (step.compute.has_value()) {
+        const ComputeDiffStep& cs = *step.compute;
+        Relation rel = Evaluate(cs.query, step_ctx);
+        if (!cs.raw_relation) {
+          const DiffSchema* schema = view_.script.FindDiffSchema(cs.out_name);
+          if (schema == nullptr) {
+            return CorruptScriptError(
+                StrCat("compute of unregistered diff ", cs.out_name));
+          }
+          DiffInstance inst(*schema, std::move(rel));
+          inst.DeduplicateByIds();
+          outputs->emplace_back(cs.out_name, inst.data());
+        } else {
+          outputs->emplace_back(cs.out_name, std::move(rel));
+        }
+      } else if (step.apply.has_value()) {
+        const ApplyStep& as = *step.apply;
+        const DiffSchema* schema = view_.script.FindDiffSchema(as.diff_name);
+        if (schema == nullptr) {
+          return CorruptScriptError(
+              StrCat("apply of unregistered diff ", as.diff_name));
+        }
+        const auto it = step_ctx.transient.find(as.diff_name);
+        if (it == step_ctx.transient.end()) {
+          return CorruptScriptError(
+              StrCat("apply of unbound diff ", as.diff_name));
+        }
+        DiffInstance inst(*schema, *it->second);
+        Table& target = db_->GetTable(as.target_table);
+        if (apply_observer_ != nullptr) {
+          apply_observer_(as.target_table, inst);
+        }
+        if (options.fault != nullptr) {
+          IDIVM_RETURN_IF_ERROR(
+              options.fault->Check(StrCat("apply:", as.target_table)));
+        }
+        const bool capture =
+            !as.returning_pre.empty() || !as.returning_post.empty();
+        ReturningImages images(target.schema());
+        IDIVM_RETURN_IF_ERROR(TryApplyDiff(
+            inst, target, &run.applied, capture ? &images : nullptr, &undo));
+        if (capture) {
+          outputs->emplace_back(as.returning_pre,
+                                std::move(images.pre_images));
+          outputs->emplace_back(as.returning_post,
+                                std::move(images.post_images));
+        }
+      } else if (step.aggregate.has_value()) {
+        AggregateExecutor exec(db_, *step.aggregate, &transients, &step_ctx,
+                               &result);
+        exec.set_script(&view_.script);
+        exec.set_undo(&undo);
+        IDIVM_RETURN_IF_ERROR(exec.Run());
       }
-      const bool capture =
-          !as.returning_pre.empty() || !as.returning_post.empty();
-      ReturningImages images(target.schema());
-      run.applied = ApplyDiff(inst, target, capture ? &images : nullptr);
-      if (capture) {
-        outputs->emplace_back(as.returning_pre,
-                              std::move(images.pre_images));
-        outputs->emplace_back(as.returning_post,
-                              std::move(images.post_images));
+      if (options.max_epoch_ops > 0 &&
+          static_cast<int64_t>(undo.size()) > options.max_epoch_ops) {
+        return ResourceExhaustedError(
+            StrCat("epoch op budget exceeded: ", undo.size(),
+                   " stored-table mutations > --max-epoch-ops=",
+                   options.max_epoch_ops));
       }
-    } else if (step.aggregate.has_value()) {
-      AggregateExecutor exec(db_, *step.aggregate, &transients, &step_ctx,
-                             &result);
-      exec.set_script(&view_.script);
-      exec.Run();
-    }
+      return OkStatus();
+    }();
     const auto t1 = std::chrono::steady_clock::now();
     run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return status;
   };
 
+  Status epoch_status = OkStatus();
   if (options.threads <= 1 || n <= 1) {
     // Sequential execution on the calling thread, in script order.
     std::vector<std::pair<std::string, Relation>> outputs;
@@ -768,7 +843,8 @@ MaintainResult Maintainer::Maintain(
         ctx.transient[name] = &rel;
       }
       outputs.clear();
-      execute_step(i, ctx, &outputs);
+      epoch_status = execute_step(i, ctx, &outputs);
+      if (!epoch_status.ok()) break;
       for (auto& [name, rel] : outputs) transients[name] = std::move(rel);
     }
   } else {
@@ -789,6 +865,12 @@ MaintainResult Maintainer::Maintain(
     std::mutex mutex;
     std::condition_variable done_cv;
     size_t completed = 0;
+    // First failure anywhere stops new step bodies from running; the DAG
+    // bookkeeping still completes every node so the scheduler cannot
+    // deadlock. Per-step statuses are merged in script order below, so the
+    // reported error is deterministic whatever the interleaving was.
+    std::atomic<bool> failed{false};
+    std::vector<Status> statuses(n, OkStatus());
     ThreadPool pool(options.threads);
     // Self-referential so completions can schedule newly-ready successors.
     std::function<void(size_t)> submit = [&](size_t i) {
@@ -798,18 +880,23 @@ MaintainResult Maintainer::Maintain(
         step_ctx.pre_state = ctx.pre_state;
         step_ctx.assist_unsafe_tables = ctx.assist_unsafe_tables;
         std::vector<std::pair<std::string, Relation>> outputs;
-        {
-          // Snapshot bindings: all producers of this step's inputs have
-          // completed and published (dependency edges); Relation values in
-          // the map are never mutated after publication and map nodes are
-          // address-stable, so the pointers stay valid outside the lock.
-          std::lock_guard<std::mutex> lock(mutex);
-          for (const auto& [name, rel] : transients) {
-            step_ctx.transient[name] = &rel;
+        Status status = OkStatus();
+        if (!failed.load(std::memory_order_acquire)) {
+          {
+            // Snapshot bindings: all producers of this step's inputs have
+            // completed and published (dependency edges); Relation values in
+            // the map are never mutated after publication and map nodes are
+            // address-stable, so the pointers stay valid outside the lock.
+            std::lock_guard<std::mutex> lock(mutex);
+            for (const auto& [name, rel] : transients) {
+              step_ctx.transient[name] = &rel;
+            }
           }
+          status = execute_step(i, step_ctx, &outputs);
+          if (!status.ok()) failed.store(true, std::memory_order_release);
         }
-        execute_step(i, step_ctx, &outputs);
         std::lock_guard<std::mutex> lock(mutex);
+        statuses[i] = std::move(status);
         for (auto& [name, rel] : outputs) transients[name] = std::move(rel);
         for (size_t succ : succs[i]) {
           if (--pending[succ] == 0) submit(succ);
@@ -825,7 +912,26 @@ MaintainResult Maintainer::Maintain(
     }
     std::unique_lock<std::mutex> lock(mutex);
     done_cv.wait(lock, [&] { return completed == n; });
+    lock.unlock();
+    for (size_t i = 0; i < n; ++i) {
+      if (!statuses[i].ok()) {
+        epoch_status = statuses[i];
+        break;
+      }
+    }
   }
+
+  if (!epoch_status.ok()) {
+    // Failed epoch: restore every stored table the script touched and drop
+    // the per-step arenas unpublished — tables, caches and every
+    // AccessStats counter read as if the epoch never started. Incident
+    // accounting (AccessStats::epoch_rollbacks etc.) is the caller's job:
+    // ViewManager's degradation ladder records it single-threaded, so
+    // concurrent per-view failures never race on the shared counters.
+    undo.RollBack();
+    return epoch_status;
+  }
+  undo.Clear();
 
   // Merge: phase attribution, apply counters and the shared AccessStats
   // sinks, all on this thread in script order — identical to the sequential
@@ -857,7 +963,8 @@ MaintainResult Maintainer::Maintain(
         break;
     }
   }
-  return result;
+  *out = std::move(result);
+  return OkStatus();
 }
 
 }  // namespace idivm

@@ -23,6 +23,8 @@
 #include "src/core/compose.h"
 #include "src/core/modification_log.h"
 #include "src/diff/apply.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/status.h"
 #include "src/storage/database.h"
 
 namespace idivm {
@@ -43,6 +45,13 @@ struct MaintainOptions {
   // the steps sequentially on the calling thread — the pre-parallel
   // behaviour, bit for bit. Values > 1 enable the DAG scheduler.
   int threads = 1;
+  // Fault-injection hook (chaos tests / benches); nullptr leaves the hot
+  // path fault-free.
+  FaultInjector* fault = nullptr;
+  // Epoch op budget: when > 0, an epoch that mutates more than this many
+  // stored-table rows fails with kResourceExhausted (and rolls back).
+  // 0 = unlimited.
+  int64_t max_epoch_ops = 0;
 };
 
 struct MaintainResult {
@@ -68,10 +77,23 @@ class Maintainer {
   const CompiledView& view() const { return view_; }
 
   // Runs the ∆-script for the given net base-table changes (from
-  // ModificationLogger::NetChanges). Does not clear any log.
+  // ModificationLogger::NetChanges). Does not clear any log. Aborts the
+  // process on script errors — the infallible wrapper around TryMaintain
+  // for call sites that treat maintenance failure as a bug.
   MaintainResult Maintain(
       const std::map<std::string, std::vector<Modification>>& net_changes,
       const MaintainOptions& options = {});
+
+  // Fault-isolated epoch execution: runs the ∆-script recording an undo
+  // entry per stored-table row it mutates (view, caches, γ operator
+  // caches). On any failure — corrupt script, apply conflict, exhausted op
+  // budget, injected fault, from any worker thread — every table is rolled
+  // back to its pre-epoch contents, no AccessStats are published (per-step
+  // arenas are simply dropped), `*result` is left untouched, and the error
+  // is returned. On success behaves exactly like Maintain.
+  Status TryMaintain(
+      const std::map<std::string, std::vector<Modification>>& net_changes,
+      const MaintainOptions& options, MaintainResult* result);
 
   // Observability hook: called for every APPLY step just before execution
   // with the target table name and the diff instance. Used by tests to

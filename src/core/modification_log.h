@@ -34,6 +34,17 @@ class ModificationJournal {
   // Journals a batch boundary (everything journaled since the previous
   // commit forms one recovery replay batch). Returns the assigned LSN.
   virtual uint64_t JournalCommit() = 0;
+
+  // Journals that `view` was taken out of service by the degradation
+  // ladder (rung 3): its materialized state is stale until repaired.
+  // Informational for recovery — replay skips these records. Default no-op
+  // so journal fakes and pre-quarantine implementations stay valid.
+  virtual uint64_t JournalQuarantine(const std::string& view,
+                                     const std::string& reason) {
+    (void)view;
+    (void)reason;
+    return 0;
+  }
 };
 
 // Applies modifications to base tables and logs them. Lookup of pre-images
@@ -44,22 +55,25 @@ class ModificationLogger {
   explicit ModificationLogger(Database* db);
 
   // Inserts `row`. Returns false — nothing applied, logged or journaled —
-  // when a row with the same primary key already exists.
-  bool Insert(const std::string& table, Row row);
+  // when a row with the same primary key already exists. A dropped return
+  // value hides a rejected change (and a silently diverging workload), so
+  // every caller must inspect it.
+  [[nodiscard]] bool Insert(const std::string& table, Row row);
 
   // Deletes the row with primary key `key`; returns false if absent.
-  bool Delete(const std::string& table, const Row& key);
+  [[nodiscard]] bool Delete(const std::string& table, const Row& key);
 
   // Updates `set_columns` of the row with primary key `key` to `values`;
   // returns false if absent. Key columns may not be updated.
-  bool Update(const std::string& table, const Row& key,
-              const std::vector<std::string>& set_columns, const Row& values);
+  [[nodiscard]] bool Update(const std::string& table, const Row& key,
+                            const std::vector<std::string>& set_columns,
+                            const Row& values);
 
   // Re-applies a recorded modification (WAL replay): dispatches on
   // `mod.kind` to Insert/Delete/Update with the recorded rows. Returns
   // false when the current table state rejects it (duplicate key / absent
   // row) — recovery treats that as corruption.
-  bool Apply(const std::string& table, const Modification& mod);
+  [[nodiscard]] bool Apply(const std::string& table, const Modification& mod);
 
   // Attaches (or detaches, with nullptr) the write-ahead journal. Accepted
   // changes are journaled before the table is mutated.

@@ -1,7 +1,11 @@
 #include "src/core/script_io.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <memory>
+#include <optional>
+#include <set>
 
 #include "src/common/check.h"
 #include "src/common/str_util.h"
@@ -278,6 +282,9 @@ class Reader {
     ++pos_;
     return true;
   }
+  // The script text is external input (a repository dump, possibly
+  // damaged): numeric parsing must reject out-of-range and garbage tokens
+  // as parse errors, never throw or abort.
   bool ReadInt(int64_t* out) {
     SkipSpace();
     size_t end = pos_;
@@ -287,8 +294,23 @@ class Reader {
       ++end;
     }
     if (end == pos_) return Fail("expected integer");
-    *out = std::stoll(text_.substr(pos_, end - pos_));
+    const std::string token = text_.substr(pos_, end - pos_);
+    errno = 0;
+    char* parse_end = nullptr;
+    const long long parsed = std::strtoll(token.c_str(), &parse_end, 10);
+    if (parse_end != token.c_str() + token.size() || errno == ERANGE) {
+      return Fail(StrCat("integer out of range: ", token));
+    }
+    *out = parsed;
     pos_ = end;
+    return true;
+  }
+  // Integer restricted to [0, max]: serialized enum tags.
+  bool ReadEnum(const char* what, int64_t max, int64_t* out) {
+    if (!ReadInt(out)) return false;
+    if (*out < 0 || *out > max) {
+      return Fail(StrCat("bad ", what, " tag ", *out));
+    }
     return true;
   }
   bool ReadDouble(double* out) {
@@ -298,7 +320,13 @@ class Reader {
       ++end;
     }
     if (end == pos_) return Fail("expected number");
-    *out = std::stod(text_.substr(pos_, end - pos_));
+    const std::string token = text_.substr(pos_, end - pos_);
+    char* parse_end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &parse_end);
+    if (parse_end != token.c_str() + token.size()) {
+      return Fail(StrCat("bad number: ", token));
+    }
+    *out = parsed;
     pos_ = end;
     return true;
   }
@@ -320,11 +348,22 @@ class Reader {
   bool ReadSchema(Schema* out) {
     if (!Open("schema")) return Fail("expected (schema");
     std::vector<ColumnDef> cols;
+    std::set<std::string> seen;
     while (Open("c")) {
       ColumnDef col;
       int64_t type = 0;
-      if (!ReadQuoted(&col.name) || !ReadInt(&type) || !Close()) return false;
+      if (!ReadQuoted(&col.name) ||
+          !ReadEnum("data type", static_cast<int64_t>(DataType::kString),
+                    &type) ||
+          !Close()) {
+        return false;
+      }
       col.type = static_cast<DataType>(type);
+      // The Schema constructor treats duplicates as an engine invariant;
+      // here they are just a corrupt dump.
+      if (!seen.insert(col.name).second) {
+        return Fail(StrCat("duplicate column: ", col.name));
+      }
       cols.push_back(std::move(col));
     }
     if (!Close()) return false;
@@ -371,7 +410,9 @@ class Reader {
     }
     if (Open("arith")) {
       int64_t op = 0;
-      if (!ReadInt(&op)) return nullptr;
+      if (!ReadEnum("arith op", static_cast<int64_t>(ArithOp::kMod), &op)) {
+        return nullptr;
+      }
       ExprPtr a = ReadExpr();
       ExprPtr b = ReadExpr();
       if (a == nullptr || b == nullptr || !Close()) return nullptr;
@@ -380,7 +421,9 @@ class Reader {
     }
     if (Open("cmp")) {
       int64_t op = 0;
-      if (!ReadInt(&op)) return nullptr;
+      if (!ReadEnum("cmp op", static_cast<int64_t>(CmpOp::kGe), &op)) {
+        return nullptr;
+      }
       ExprPtr a = ReadExpr();
       ExprPtr b = ReadExpr();
       if (a == nullptr || b == nullptr || !Close()) return nullptr;
@@ -388,7 +431,9 @@ class Reader {
     }
     if (Open("logic")) {
       int64_t op = 0;
-      if (!ReadInt(&op)) return nullptr;
+      if (!ReadEnum("logic op", static_cast<int64_t>(LogicOp::kNot), &op)) {
+        return nullptr;
+      }
       std::vector<ExprPtr> children;
       while (!PeekClose()) {
         ExprPtr child = ReadExpr();
@@ -507,7 +552,10 @@ class Reader {
       while (Open("spec")) {
         AggSpec spec;
         int64_t func = 0;
-        if (!ReadInt(&func)) return nullptr;
+        if (!ReadEnum("agg func", static_cast<int64_t>(AggFunc::kMax),
+                      &func)) {
+          return nullptr;
+        }
         spec.func = static_cast<AggFunc>(func);
         if (Open("noarg")) {
           if (!Close()) return nullptr;
@@ -554,29 +602,69 @@ class Reader {
     std::vector<std::string> posts;
     int64_t additive = 0;
     Schema rel;
-    if (!ReadInt(&type) || !ReadQuoted(&target) || !ReadStrings(&ids) ||
-        !ReadStrings(&pres) || !ReadStrings(&posts) || !ReadInt(&additive) ||
-        !ReadSchema(&rel) || !Close()) {
+    if (!ReadEnum("diff type", static_cast<int64_t>(DiffType::kUpdate),
+                  &type) ||
+        !ReadQuoted(&target) || !ReadStrings(&ids) || !ReadStrings(&pres) ||
+        !ReadStrings(&posts) || !ReadInt(&additive) || !ReadSchema(&rel) ||
+        !Close()) {
       return false;
+    }
+    // The DiffSchema constructor CHECKs its invariants (they hold for every
+    // schema the compiler emits); a damaged dump has to be rejected before
+    // it reaches them.
+    const DiffType diff_type = static_cast<DiffType>(type);
+    if (ids.empty()) return Fail("i-diff without ID columns");
+    if (additive != 0 && diff_type != DiffType::kUpdate) {
+      return Fail("additive i-diff that is not an update");
+    }
+    if (diff_type == DiffType::kInsert && !pres.empty()) {
+      return Fail("insert i-diff with pre-state columns");
+    }
+    if (diff_type == DiffType::kDelete && !posts.empty()) {
+      return Fail("delete i-diff with post-state columns");
+    }
+    for (const std::string& attr : pres) {
+      for (const std::string& id : ids) {
+        if (attr == id) return Fail(StrCat("pre column shadows ID ", id));
+      }
+    }
+    for (const std::string& attr : posts) {
+      for (const std::string& id : ids) {
+        if (attr == id) return Fail(StrCat("post column shadows ID ", id));
+      }
     }
     // Reconstruct a synthetic target schema from the relation schema: each
     // id keeps its type; pre/post columns carry the attribute types.
     std::vector<ColumnDef> target_cols;
+    std::set<std::string> target_seen;
     for (const std::string& id : ids) {
-      target_cols.push_back(
-          {id, rel.column(rel.ColumnIndex(id)).type});
+      const std::optional<size_t> index = rel.FindColumn(id);
+      if (!index.has_value()) {
+        return Fail(StrCat("relation schema missing ID column ", id));
+      }
+      if (!target_seen.insert(id).second) {
+        return Fail(StrCat("duplicate ID column ", id));
+      }
+      target_cols.push_back({id, rel.column(*index).type});
     }
     auto add_attr = [&](const std::string& attr, const std::string& col) {
-      for (const ColumnDef& existing : target_cols) {
-        if (existing.name == attr) return;
+      if (!target_seen.insert(attr).second) return true;
+      const std::optional<size_t> index = rel.FindColumn(col);
+      if (!index.has_value()) {
+        return Fail(StrCat("relation schema missing column ", col));
       }
-      target_cols.push_back({attr, rel.column(rel.ColumnIndex(col)).type});
+      target_cols.push_back({attr, rel.column(*index).type});
+      return true;
     };
-    for (const std::string& attr : pres) add_attr(attr, PreName(attr));
-    for (const std::string& attr : posts) add_attr(attr, PostName(attr));
+    for (const std::string& attr : pres) {
+      if (!add_attr(attr, PreName(attr))) return false;
+    }
+    for (const std::string& attr : posts) {
+      if (!add_attr(attr, PostName(attr))) return false;
+    }
     *out = std::make_unique<DiffSchema>(
-        static_cast<DiffType>(type), target, Schema(target_cols), ids, pres,
-        posts, additive != 0);
+        diff_type, target, Schema(target_cols), ids, pres, posts,
+        additive != 0);
     return true;
   }
 
@@ -818,7 +906,10 @@ LoadResult LoadCompiledView(const std::string& text, const Database& db) {
     if (reader.Open("apply")) {
       ApplyStep step;
       int64_t phase = 0;
-      if (!reader.ReadInt(&phase) || !reader.ReadQuoted(&step.diff_name) ||
+      if (!reader.ReadEnum("maintenance phase",
+                           static_cast<int64_t>(MaintPhase::kViewUpdate),
+                           &phase) ||
+          !reader.ReadQuoted(&step.diff_name) ||
           !reader.ReadQuoted(&step.target_table) ||
           !reader.ReadQuoted(&step.returning_pre) ||
           !reader.ReadQuoted(&step.returning_post) || !reader.Close()) {
@@ -831,7 +922,10 @@ LoadResult LoadCompiledView(const std::string& text, const Database& db) {
     if (reader.Open("aggstep")) {
       AggregateStep step;
       int64_t mode = 0;
-      if (!reader.ReadInt(&mode) || !reader.ReadQuoted(&step.node_name) ||
+      if (!reader.ReadEnum(
+              "aggregate mode",
+              static_cast<int64_t>(AggregateStep::Mode::kRecompute), &mode) ||
+          !reader.ReadQuoted(&step.node_name) ||
           !reader.ReadSchema(&step.input_schema) ||
           !reader.ReadSchema(&step.output_schema) ||
           !reader.ReadStrings(&step.group_by)) {
@@ -842,7 +936,10 @@ LoadResult LoadCompiledView(const std::string& text, const Database& db) {
             if (!r.Open("spec")) return false;
             AggSpec spec;
             int64_t func = 0;
-            if (!r.ReadInt(&func)) return false;
+            if (!r.ReadEnum("agg func", static_cast<int64_t>(AggFunc::kMax),
+                            &func)) {
+              return false;
+            }
             spec.func = static_cast<AggFunc>(func);
             if (r.Open("noarg")) {
               if (!r.Close()) return false;
@@ -860,7 +957,9 @@ LoadResult LoadCompiledView(const std::string& text, const Database& db) {
             if (!r.Open("in")) return false;
             AggregateInput input;
             int64_t type = 0;
-            if (!r.ReadInt(&type) || !r.ReadQuoted(&input.pre_rows) ||
+            if (!r.ReadEnum("diff type",
+                            static_cast<int64_t>(DiffType::kUpdate), &type) ||
+                !r.ReadQuoted(&input.pre_rows) ||
                 !r.ReadQuoted(&input.post_rows) || !r.Close()) {
               return false;
             }

@@ -1,6 +1,8 @@
 #include "src/core/view_manager.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
 #include "src/common/check.h"
 #include "src/common/str_util.h"
@@ -8,6 +10,28 @@
 #include "src/core/script_io.h"
 
 namespace idivm {
+
+const char* DegradePolicyName(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kFailFast:
+      return "fail-fast";
+    case DegradePolicy::kRetry:
+      return "retry";
+    case DegradePolicy::kRecompute:
+      return "recompute";
+    case DegradePolicy::kQuarantine:
+      return "quarantine";
+  }
+  IDIVM_UNREACHABLE("bad DegradePolicy");
+}
+
+std::optional<DegradePolicy> ParseDegradePolicy(const std::string& text) {
+  if (text == "fail-fast") return DegradePolicy::kFailFast;
+  if (text == "retry") return DegradePolicy::kRetry;
+  if (text == "recompute") return DegradePolicy::kRecompute;
+  if (text == "quarantine") return DegradePolicy::kQuarantine;
+  return std::nullopt;
+}
 
 ViewManager::ViewManager(Database* db, RefreshMode mode)
     : db_(db), mode_(mode), logger_(db) {
@@ -52,6 +76,7 @@ void ViewManager::DropView(const std::string& name) {
     }
     db_->DropTable(name);
     views_.erase(it);
+    quarantined_.erase(name);
     return;
   }
   IDIVM_UNREACHABLE(StrCat("no such view: ", name));
@@ -71,6 +96,46 @@ void ViewManager::RecomputeAllViews() {
     maintainer = std::make_unique<Maintainer>(
         db_, CompileView(name, plan, *db_, options));
   }
+  // Rematerializing everything is also the repair of last resort.
+  quarantined_.clear();
+}
+
+Status ViewManager::TryRecomputeView(size_t index, FaultInjector* fault) {
+  auto& [name, maintainer] = views_[index];
+  if (fault != nullptr) {
+    IDIVM_RETURN_IF_ERROR(fault->Check(StrCat("recompute:", name)));
+  }
+  const PlanPtr plan = maintainer->view().plan;
+  CompilerOptions options = maintainer->view().options;
+  // Rematerialization is real work; charge it (view-definition time is free
+  // in the cost model).
+  options.charge_materialization = true;
+  for (const std::string& cache : maintainer->view().cache_tables) {
+    db_->DropTable(cache);
+  }
+  db_->DropTable(name);
+  maintainer = std::make_unique<Maintainer>(
+      db_, CompileView(name, plan, *db_, options));
+  return OkStatus();
+}
+
+bool ViewManager::IsQuarantined(const std::string& name) const {
+  return quarantined_.count(name) > 0;
+}
+
+std::vector<std::string> ViewManager::QuarantinedViews() const {
+  return std::vector<std::string>(quarantined_.begin(), quarantined_.end());
+}
+
+void ViewManager::RepairView(const std::string& name) {
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (views_[i].first != name) continue;
+    const Status status = TryRecomputeView(i, nullptr);
+    IDIVM_CHECK(status.ok(), status.ToString());
+    quarantined_.erase(name);
+    return;
+  }
+  IDIVM_UNREACHABLE(StrCat("no such view: ", name));
 }
 
 bool ViewManager::Insert(const std::string& table, Row row) {
@@ -105,13 +170,23 @@ std::string ViewManager::SerializeRepository() const {
 
 std::string ViewManager::LoadRepository(const std::string& text) {
   // Minimal framing: "(repository 1 <n>" followed by n compiled views.
+  // The dump is external input: a malformed header is a load error, never
+  // a crash.
   size_t pos = text.find("(repository 1 ");
   if (pos != 0) return "not a repository dump";
   pos = text.find('\n');
+  if (pos == std::string::npos) return "truncated repository header";
   size_t count = 0;
   {
     const std::string header = text.substr(14, pos - 14);
-    count = static_cast<size_t>(std::stoll(header));
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(header.c_str(), &end, 10);
+    if (end == header.c_str() || errno == ERANGE || parsed < 0 ||
+        parsed > static_cast<long long>(text.size())) {
+      return StrCat("bad repository view count: ", header);
+    }
+    count = static_cast<size_t>(parsed);
   }
   size_t cursor = pos + 1;
   for (size_t i = 0; i < count; ++i) {
@@ -122,8 +197,9 @@ std::string ViewManager::LoadRepository(const std::string& text) {
     const LoadResult loaded =
         LoadCompiledView(text.substr(start, next - start), *db_);
     if (!loaded.ok) return loaded.error;
-    IDIVM_CHECK(!HasView(loaded.view.view_name),
-                StrCat("view already loaded: ", loaded.view.view_name));
+    if (HasView(loaded.view.view_name)) {
+      return StrCat("view already loaded: ", loaded.view.view_name);
+    }
     views_.emplace_back(loaded.view.view_name,
                         std::make_unique<Maintainer>(db_, loaded.view));
     cursor = next;
@@ -133,7 +209,14 @@ std::string ViewManager::LoadRepository(const std::string& text) {
 
 std::map<std::string, MaintainResult> ViewManager::Refresh(
     const RefreshOptions& options) {
-  std::map<std::string, MaintainResult> out;
+  RefreshReport report;
+  const Status status = TryRefresh(options, &report);
+  IDIVM_CHECK(status.ok(), status.ToString());
+  return std::move(report.results);
+}
+
+Status ViewManager::TryRefresh(const RefreshOptions& options,
+                               RefreshReport* report) {
   // Journal the batch boundary first: recovery replays whole COMMIT-
   // delimited batches, so the commit must cover exactly the modifications
   // this refresh consumes.
@@ -142,37 +225,140 @@ std::map<std::string, MaintainResult> ViewManager::Refresh(
   }
   const auto net = logger_.NetChanges();
   logger_.Clear();
-  if (net.empty()) return out;
-  const size_t n = views_.size();
-  const int threads =
-      std::min<int>(options.threads, static_cast<int>(n));
+  if (net.empty()) return OkStatus();
+
+  // Views in service this round, definition order.
+  std::vector<size_t> active;
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (quarantined_.count(views_[i].first) == 0) active.push_back(i);
+  }
+  const size_t n = active.size();
+  if (n == 0) return OkStatus();
+
+  MaintainOptions mopts;
+  mopts.threads = options.script_threads;
+  mopts.fault = options.fault;
+  mopts.max_epoch_ops = options.max_epoch_ops;
+
+  struct ViewRun {
+    MaintainResult result;
+    Status first_error;  // OK when the first attempt succeeded
+    int rollbacks = 0;   // failed epoch attempts (first try and retry)
+    bool retried = false;
+    bool serviceable = false;  // current after rungs 0/1
+  };
+
+  // Rungs 0 and 1 for one view, on whatever thread maintains it. Sound in
+  // parallel mode for the same reason a plain epoch is: the retry touches
+  // only this view's tables, and the rolled-back epoch published nothing.
+  auto maintain_view = [&](size_t vi, ViewRun* run) {
+    Maintainer& m = *views_[vi].second;
+    Status status = m.TryMaintain(net, mopts, &run->result);
+    if (status.ok()) {
+      run->serviceable = true;
+      return;
+    }
+    run->first_error = std::move(status);
+    ++run->rollbacks;
+    if (options.degrade == DegradePolicy::kFailFast) return;
+    // Rung 1: the epoch rolled back cleanly, so a single-threaded re-run
+    // starts from exactly the pre-epoch state; transient failures (an
+    // injected fault whose budget is spent, a scheduling hazard) do not
+    // repeat deterministically.
+    run->retried = true;
+    MaintainOptions retry = mopts;
+    retry.threads = 1;
+    status = m.TryMaintain(net, retry, &run->result);
+    if (status.ok()) {
+      run->serviceable = true;
+      return;
+    }
+    ++run->rollbacks;
+  };
+
+  std::vector<ViewRun> runs(n);
+  const int threads = std::min<int>(options.threads, static_cast<int>(n));
   if (threads <= 1) {
-    for (auto& [name, maintainer] : views_) {
-      out.emplace(name, maintainer->Maintain(net));
+    for (size_t i = 0; i < n; ++i) maintain_view(active[i], &runs[i]);
+  } else {
+    // Parallel refresh: one task per view; each task charges into a private
+    // per-view arena (installed for the whole epoch), published in
+    // definition order afterwards so the shared counters match the
+    // sequential run.
+    std::vector<StatsArena> arenas(n);
+    {
+      ThreadPool pool(threads);
+      for (size_t i = 0; i < n; ++i) {
+        pool.Submit([&, i] {
+          ScopedStatsArena scope(&arenas[i]);
+          maintain_view(active[i], &runs[i]);
+        });
+      }
+      // ~ThreadPool drains the queue and joins.
     }
-    return out;
+    for (size_t i = 0; i < n; ++i) arenas[i].Publish();
   }
-  // Parallel refresh: one task per view; each task charges into a private
-  // per-view arena (installed for the whole Maintain call), published in
-  // definition order afterwards so the shared counters match the
-  // sequential run.
-  std::vector<StatsArena> arenas(n);
-  std::vector<MaintainResult> results(n);
-  {
-    ThreadPool pool(threads);
-    for (size_t i = 0; i < n; ++i) {
-      pool.Submit([this, &net, &arenas, &results, i] {
-        ScopedStatsArena scope(&arenas[i]);
-        results[i] = views_[i].second->Maintain(net);
-      });
-    }
-    // ~ThreadPool drains the queue and joins.
-  }
+
+  // Rungs 2 and 3 and all incident accounting run here, single-threaded,
+  // in definition order — they touch shared state (the table catalog, the
+  // quarantine set, the rung counters).
+  Status refresh_status = OkStatus();
+  AccessStats& stats = db_->stats();
   for (size_t i = 0; i < n; ++i) {
-    arenas[i].Publish();
-    out.emplace(views_[i].first, results[i]);
+    const size_t vi = active[i];
+    const std::string& name = views_[vi].first;
+    ViewRun& run = runs[i];
+    if (run.first_error.ok()) {
+      report->results.emplace(name, run.result);
+      continue;
+    }
+    ViewIncident incident;
+    incident.view = name;
+    incident.error = run.first_error;
+    stats.epoch_rollbacks += run.rollbacks;
+    if (run.retried) stats.degraded_retries += 1;
+    if (run.serviceable) {
+      incident.rung = 1;
+      incident.recovered = true;
+      report->results.emplace(name, run.result);
+      report->incidents.push_back(std::move(incident));
+      continue;
+    }
+    incident.rung = run.retried ? 1 : 0;
+    if (options.degrade == DegradePolicy::kFailFast ||
+        options.degrade == DegradePolicy::kRetry) {
+      if (refresh_status.ok()) refresh_status = run.first_error;
+      report->incidents.push_back(std::move(incident));
+      continue;
+    }
+    // Rung 2: the epoch rolled back, but the base tables already carry this
+    // refresh's changes — rematerializing from them lands the view exactly
+    // on its post-refresh contents.
+    incident.rung = 2;
+    stats.recompute_fallbacks += 1;
+    const Status recomputed = TryRecomputeView(vi, options.fault);
+    if (recomputed.ok()) {
+      incident.recovered = true;
+      report->results.emplace(name, MaintainResult());
+      report->incidents.push_back(std::move(incident));
+      continue;
+    }
+    if (options.degrade == DegradePolicy::kRecompute) {
+      if (refresh_status.ok()) refresh_status = recomputed;
+      report->incidents.push_back(std::move(incident));
+      continue;
+    }
+    // Rung 3: out of service. Journal first — the WAL must record that the
+    // materialized state of this view is stale from here on.
+    incident.rung = 3;
+    stats.quarantines += 1;
+    quarantined_.insert(name);
+    if (logger_.journal() != nullptr) {
+      logger_.journal()->JournalQuarantine(name, run.first_error.ToString());
+    }
+    report->incidents.push_back(std::move(incident));
   }
-  return out;
+  return refresh_status;
 }
 
 }  // namespace idivm

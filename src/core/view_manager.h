@@ -13,15 +13,33 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/status.h"
 
 namespace idivm {
 
 enum class RefreshMode { kDeferred, kEager };
+
+// The degradation ladder: how far TryRefresh escalates when a view's
+// maintenance epoch fails (and rolls back). Each policy includes every
+// rung before it.
+enum class DegradePolicy {
+  kFailFast,    // rung 0 only: roll back, surface the error
+  kRetry,       // + rung 1: re-run the epoch single-threaded
+  kRecompute,   // + rung 2: rematerialize the view from base tables
+  kQuarantine,  // + rung 3: take the view out of service, keep going
+};
+
+const char* DegradePolicyName(DegradePolicy policy);
+// Parses "fail-fast" / "retry" / "recompute" / "quarantine".
+std::optional<DegradePolicy> ParseDegradePolicy(const std::string& text);
 
 struct RefreshOptions {
   // Worker threads for Refresh. 1 maintains the views sequentially in
@@ -32,6 +50,36 @@ struct RefreshOptions {
   // and published in definition order, so all AccessStats counters match
   // the sequential run exactly.
   int threads = 1;
+  // Worker threads *within* each view's ∆-script (MaintainOptions::threads).
+  int script_threads = 1;
+  // How far to escalate when a view's epoch fails. Rungs 0 and 1 run
+  // wherever the view is being maintained; rungs 2 and 3 run on the
+  // calling thread after every view finished (they touch shared state).
+  DegradePolicy degrade = DegradePolicy::kQuarantine;
+  // Fault-injection hook threaded through to every epoch (and the
+  // recompute rung); nullptr disables.
+  FaultInjector* fault = nullptr;
+  // Per-epoch stored-row mutation budget (MaintainOptions::max_epoch_ops).
+  int64_t max_epoch_ops = 0;
+};
+
+// One view's trip down the degradation ladder during a TryRefresh.
+struct ViewIncident {
+  std::string view;
+  Status error;          // the original epoch failure
+  int rung = 0;          // deepest rung taken: 0 rollback, 1 retry,
+                         // 2 recompute, 3 quarantine
+  bool recovered = false;  // view left serviceable and current
+};
+
+struct RefreshReport {
+  // Per-view costs for every view that ended the refresh serviceable.
+  // Views recovered by the recompute rung appear with a zero MaintainResult
+  // (their cost is charged to the database stats, counted under
+  // recompute_fallbacks); quarantined views are absent.
+  std::map<std::string, MaintainResult> results;
+  // One entry per view whose first epoch attempt failed, definition order.
+  std::vector<ViewIncident> incidents;
 };
 
 class ViewManager {
@@ -67,9 +115,33 @@ class ViewManager {
 
   // Deferred mode: maintains every registered view from the accumulated
   // log, clears the log, and returns the per-view costs. In eager mode the
-  // log is always empty and this is a no-op.
+  // log is always empty and this is a no-op. Aborts on maintenance errors
+  // the configured ladder cannot absorb — the infallible wrapper around
+  // TryRefresh.
   std::map<std::string, MaintainResult> Refresh(
       const RefreshOptions& options = {});
+
+  // Fault-isolated refresh. Every view is maintained as an atomic epoch;
+  // a failed epoch rolls its view back to pre-refresh contents and walks
+  // the options.degrade ladder: retry single-threaded → rematerialize from
+  // base tables → quarantine. Each rung is counted in the database's
+  // AccessStats (epoch_rollbacks / degraded_retries / recompute_fallbacks /
+  // quarantines). Returns non-OK only when the ladder was not allowed to
+  // absorb the failure (kFailFast/kRetry/kRecompute policies); the
+  // modification log is consumed either way — base-table changes stay
+  // applied, and an unserviced view is repaired by RepairView or
+  // RecomputeAllViews.
+  Status TryRefresh(const RefreshOptions& options, RefreshReport* report);
+
+  // ---- Quarantine (ladder rung 3) ----
+  // A quarantined view is skipped by Refresh (its contents go stale) until
+  // repaired. Quarantine events are journaled so recovery knows the
+  // materialized state is suspect.
+  bool IsQuarantined(const std::string& name) const;
+  std::vector<std::string> QuarantinedViews() const;
+  // Rematerializes the (quarantined or suspect) view from the current base
+  // tables and returns it to service.
+  void RepairView(const std::string& name);
 
   // The shared modification logger (Fig. 3). Lets workload generators feed
   // logged changes directly; prefer Insert/Delete/Update in eager mode
@@ -93,11 +165,18 @@ class ViewManager {
   std::string LoadRepository(const std::string& text);
 
  private:
+  // Drops and recompiles one view from base tables, charging the
+  // materialization. The fault site fires before the drop so an injected
+  // failure leaves the old contents intact (the rung is all-or-nothing).
+  Status TryRecomputeView(size_t index, FaultInjector* fault);
+
   Database* db_;
   RefreshMode mode_;
   ModificationLogger logger_;
   // Ordered by definition: later views may (in principle) read earlier ones.
   std::vector<std::pair<std::string, std::unique_ptr<Maintainer>>> views_;
+  // Views taken out of service by ladder rung 3.
+  std::set<std::string> quarantined_;
 };
 
 }  // namespace idivm

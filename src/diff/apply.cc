@@ -1,5 +1,10 @@
 #include "src/diff/apply.h"
 
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "src/common/check.h"
 #include "src/common/str_util.h"
 #include "src/expr/expr.h"
@@ -15,26 +20,51 @@ Value AddValues(const Value& current, const Value& delta) {
   return expr_internal::EvalArith(ArithOp::kAdd, current, delta);
 }
 
-ApplyResult ApplyUpdate(const DiffInstance& diff, Table& target,
-                        ReturningImages* returning) {
+// Column lookup that reports a corrupt ∆-script instead of aborting: the
+// diff's schema is externally reachable (loaded scripts), so a missing
+// column is an input error, not an engine invariant.
+Status FindColumnOr(const Schema& schema, const std::string& name,
+                    const char* role, const std::string& target,
+                    size_t* out) {
+  std::optional<size_t> idx = schema.FindColumn(name);
+  if (!idx.has_value()) {
+    return CorruptScriptError(StrCat("diff for ", target, ": ", role,
+                                     " column ", name, " missing"));
+  }
+  *out = *idx;
+  return OkStatus();
+}
+
+Status TryApplyUpdate(const DiffInstance& diff, Table& target,
+                      ApplyResult* out, ReturningImages* returning,
+                      EpochUndo* undo) {
   const DiffSchema& schema = diff.schema();
   const Schema& target_schema = target.schema();
   const Schema& diff_rel = schema.relation_schema();
 
-  const std::vector<size_t> match_cols =
-      target_schema.ColumnIndices(schema.id_columns());
-  std::vector<size_t> set_cols;
-  std::vector<size_t> diff_post_cols;
-  for (const std::string& attr : schema.post_columns()) {
-    set_cols.push_back(target_schema.ColumnIndex(attr));
-    diff_post_cols.push_back(diff_rel.ColumnIndex(PostName(attr)));
+  std::vector<size_t> match_cols(schema.id_columns().size());
+  for (size_t i = 0; i < schema.id_columns().size(); ++i) {
+    IDIVM_RETURN_IF_ERROR(FindColumnOr(target_schema, schema.id_columns()[i],
+                                       "ID", schema.target(),
+                                       &match_cols[i]));
   }
-  std::vector<size_t> diff_id_cols;
-  for (const std::string& attr : schema.id_columns()) {
-    diff_id_cols.push_back(diff_rel.ColumnIndex(attr));
+  std::vector<size_t> set_cols(schema.post_columns().size());
+  std::vector<size_t> diff_post_cols(schema.post_columns().size());
+  for (size_t i = 0; i < schema.post_columns().size(); ++i) {
+    const std::string& attr = schema.post_columns()[i];
+    IDIVM_RETURN_IF_ERROR(FindColumnOr(target_schema, attr, "SET",
+                                       schema.target(), &set_cols[i]));
+    IDIVM_RETURN_IF_ERROR(FindColumnOr(diff_rel, PostName(attr), "post",
+                                       schema.target(), &diff_post_cols[i]));
+  }
+  std::vector<size_t> diff_id_cols(schema.id_columns().size());
+  for (size_t i = 0; i < schema.id_columns().size(); ++i) {
+    IDIVM_RETURN_IF_ERROR(FindColumnOr(diff_rel, schema.id_columns()[i], "ID",
+                                       schema.target(), &diff_id_cols[i]));
   }
 
   const bool additive = schema.additive();
+  const bool capture = returning != nullptr || undo != nullptr;
   ApplyResult result;
   for (const Row& row : diff.data().rows()) {
     ++result.diff_tuples;
@@ -51,20 +81,26 @@ ApplyResult ApplyUpdate(const DiffInstance& diff, Table& target,
                          : new_values[i];
           }
         },
-        returning != nullptr ? &pre : nullptr,
-        returning != nullptr ? &post : nullptr);
+        capture ? &pre : nullptr, capture ? &post : nullptr);
     result.rows_touched += static_cast<int64_t>(touched);
     if (touched == 0) ++result.dummy_tuples;
+    if (undo != nullptr) {
+      for (size_t i = 0; i < pre.size(); ++i) {
+        undo->Record(&target, Modification{DiffType::kUpdate, pre[i], post[i]});
+      }
+    }
     if (returning != nullptr) {
       for (Row& r : pre) returning->pre_images.Append(std::move(r));
       for (Row& r : post) returning->post_images.Append(std::move(r));
     }
   }
-  return result;
+  *out += result;
+  return OkStatus();
 }
 
-ApplyResult ApplyInsert(const DiffInstance& diff, Table& target,
-                        ReturningImages* returning) {
+Status TryApplyInsert(const DiffInstance& diff, Table& target,
+                      ApplyResult* out, ReturningImages* returning,
+                      EpochUndo* undo) {
   const DiffSchema& schema = diff.schema();
   const Schema& target_schema = target.schema();
   const Schema& diff_rel = schema.relation_schema();
@@ -74,9 +110,10 @@ ApplyResult ApplyInsert(const DiffInstance& diff, Table& target,
   for (const ColumnDef& col : target_schema.columns()) {
     std::optional<size_t> idx = diff_rel.FindColumn(col.name);  // ID column
     if (!idx.has_value()) idx = diff_rel.FindColumn(PostName(col.name));
-    IDIVM_CHECK(idx.has_value(),
-                StrCat("insert i-diff for ", schema.target(),
-                       " lacks column ", col.name));
+    if (!idx.has_value()) {
+      return CorruptScriptError(StrCat("insert i-diff for ", schema.target(),
+                                       " lacks column ", col.name));
+    }
     source_cols.push_back(*idx);
   }
 
@@ -90,57 +127,89 @@ ApplyResult ApplyInsert(const DiffInstance& diff, Table& target,
       continue;
     }
     if (returning != nullptr) returning->post_images.Append(target_row);
+    Row undo_copy;
+    if (undo != nullptr) undo_copy = target_row;
     const bool inserted = target.Insert(std::move(target_row));
-    IDIVM_CHECK(inserted,
-                StrCat("non-effective insert i-diff for ", schema.target(),
-                       ": key exists with different attribute values"));
+    if (!inserted) {
+      *out += result;
+      return ApplyConflictError(
+          StrCat("non-effective insert i-diff for ", schema.target(),
+                 ": key exists with different attribute values"));
+    }
+    if (undo != nullptr) {
+      undo->Record(&target,
+                   Modification{DiffType::kInsert, Row(),
+                                std::move(undo_copy)});
+    }
     ++result.rows_touched;
   }
-  return result;
+  *out += result;
+  return OkStatus();
 }
 
-ApplyResult ApplyDelete(const DiffInstance& diff, Table& target,
-                        ReturningImages* returning) {
+Status TryApplyDelete(const DiffInstance& diff, Table& target,
+                      ApplyResult* out, ReturningImages* returning,
+                      EpochUndo* undo) {
   const DiffSchema& schema = diff.schema();
   const Schema& target_schema = target.schema();
   const Schema& diff_rel = schema.relation_schema();
 
-  const std::vector<size_t> match_cols =
-      target_schema.ColumnIndices(schema.id_columns());
-  std::vector<size_t> diff_id_cols;
-  for (const std::string& attr : schema.id_columns()) {
-    diff_id_cols.push_back(diff_rel.ColumnIndex(attr));
+  std::vector<size_t> match_cols(schema.id_columns().size());
+  for (size_t i = 0; i < schema.id_columns().size(); ++i) {
+    IDIVM_RETURN_IF_ERROR(FindColumnOr(target_schema, schema.id_columns()[i],
+                                       "ID", schema.target(),
+                                       &match_cols[i]));
+  }
+  std::vector<size_t> diff_id_cols(schema.id_columns().size());
+  for (size_t i = 0; i < schema.id_columns().size(); ++i) {
+    IDIVM_RETURN_IF_ERROR(FindColumnOr(diff_rel, schema.id_columns()[i], "ID",
+                                       schema.target(), &diff_id_cols[i]));
   }
 
+  const bool capture = returning != nullptr || undo != nullptr;
   ApplyResult result;
   for (const Row& row : diff.data().rows()) {
     ++result.diff_tuples;
     const Row key = ProjectRow(row, diff_id_cols);
     std::vector<Row> pre;
-    const size_t touched = target.DeleteWhereEquals(
-        match_cols, key, returning != nullptr ? &pre : nullptr);
+    const size_t touched =
+        target.DeleteWhereEquals(match_cols, key, capture ? &pre : nullptr);
     result.rows_touched += static_cast<int64_t>(touched);
     if (touched == 0) ++result.dummy_tuples;
+    if (undo != nullptr) {
+      for (const Row& r : pre) {
+        undo->Record(&target, Modification{DiffType::kDelete, r, Row()});
+      }
+    }
     if (returning != nullptr) {
       for (Row& r : pre) returning->pre_images.Append(std::move(r));
     }
   }
-  return result;
+  *out += result;
+  return OkStatus();
 }
 
 }  // namespace
 
-ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,
-                      ReturningImages* returning) {
+Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
+                    ReturningImages* returning, EpochUndo* undo) {
   switch (diff.schema().type()) {
     case DiffType::kUpdate:
-      return ApplyUpdate(diff, target, returning);
+      return TryApplyUpdate(diff, target, out, returning, undo);
     case DiffType::kInsert:
-      return ApplyInsert(diff, target, returning);
+      return TryApplyInsert(diff, target, out, returning, undo);
     case DiffType::kDelete:
-      return ApplyDelete(diff, target, returning);
+      return TryApplyDelete(diff, target, out, returning, undo);
   }
   IDIVM_UNREACHABLE("bad DiffType");
+}
+
+ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,
+                      ReturningImages* returning) {
+  ApplyResult result;
+  const Status status = TryApplyDiff(diff, target, &result, returning);
+  IDIVM_CHECK(status.ok(), status.ToString());
+  return result;
 }
 
 }  // namespace idivm

@@ -19,6 +19,8 @@
 #define IDIVM_DIFF_APPLY_H_
 
 #include "src/diff/diff_instance.h"
+#include "src/robust/epoch.h"
+#include "src/robust/status.h"
 #include "src/storage/table.h"
 
 namespace idivm {
@@ -57,6 +59,18 @@ struct ReturningImages {
 // indicates a non-effective diff and aborts.
 ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,
                       ReturningImages* returning = nullptr);
+
+// Recoverable variant: a diff whose columns don't line up with the target
+// (a corrupt or mis-compiled ∆-script) yields kCorruptScript, and the
+// non-effective insert conflict yields kApplyConflict, instead of aborting
+// the process. `*out` accumulates (+=) the apply result; on error the
+// target may hold a prefix of the diff's mutations — every row touched up
+// to that point has been recorded in `undo` (when provided), so the
+// enclosing epoch can roll it back. ApplyDiff above is the CHECK-on-error
+// wrapper kept for the infallible call sites.
+Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
+                    ReturningImages* returning = nullptr,
+                    EpochUndo* undo = nullptr);
 
 }  // namespace idivm
 

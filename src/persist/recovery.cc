@@ -67,6 +67,11 @@ RecoverResult Recover(Database* db, ViewManager* vm,
         break;
       case WalRecordType::kCheckpoint:
         break;  // informational: a snapshot exists elsewhere
+      case WalRecordType::kQuarantine:
+        // Informational: the pre-crash engine took this view out of
+        // service. Replay reconstructs every view from the journaled base
+        // changes, which also repairs whatever made it quarantined.
+        break;
     }
   }
   result.records_discarded = pending.size();

@@ -45,6 +45,10 @@ std::string EncodeRecord(const WalRecord& record) {
       enc.PutU64(record.snapshot_lsn);
       enc.PutString(record.snapshot_path);
       break;
+    case WalRecordType::kQuarantine:
+      enc.PutString(record.table);
+      enc.PutString(record.quarantine_reason);
+      break;
   }
   return enc.TakeBuffer();
 }
@@ -83,6 +87,11 @@ bool DecodeRecord(std::string_view payload, WalRecord* out,
       out->type = WalRecordType::kCheckpoint;
       out->snapshot_lsn = dec.GetU64();
       out->snapshot_path = dec.GetString();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kQuarantine):
+      out->type = WalRecordType::kQuarantine;
+      out->table = dec.GetString();
+      out->quarantine_reason = dec.GetString();
       break;
     default:
       *error = StrCat("unknown record type ", static_cast<int>(type));
@@ -168,8 +177,11 @@ void WalWriter::MaybeSync(WalRecordType type) {
     case WalSyncPolicy::kNone:
       break;
     case WalSyncPolicy::kOnCommit:
+      // Quarantines are incident records that may not be followed by
+      // another commit for a while; make them durable immediately.
       if (type == WalRecordType::kCommit ||
-          type == WalRecordType::kCheckpoint) {
+          type == WalRecordType::kCheckpoint ||
+          type == WalRecordType::kQuarantine) {
         Sync();
       }
       break;
@@ -207,6 +219,16 @@ uint64_t WalWriter::JournalCommit() {
   WalRecord record;
   record.type = WalRecordType::kCommit;
   record.lsn = next_lsn_++;
+  return AppendRecord(record);
+}
+
+uint64_t WalWriter::JournalQuarantine(const std::string& view,
+                                      const std::string& reason) {
+  WalRecord record;
+  record.type = WalRecordType::kQuarantine;
+  record.lsn = next_lsn_++;
+  record.table = view;
+  record.quarantine_reason = reason;
   return AppendRecord(record);
 }
 

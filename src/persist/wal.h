@@ -29,18 +29,24 @@ enum class WalRecordType : uint8_t {
   kUpdate = 3,
   kCommit = 4,
   kCheckpoint = 5,
+  // A view was quarantined by the degradation ladder: its materialized
+  // state is stale from this LSN on. Informational; replay skips it.
+  kQuarantine = 6,
 };
 
 struct WalRecord {
   WalRecordType type = WalRecordType::kCommit;
   uint64_t lsn = 0;
   // Modification records only: the table and the recorded rows (insert
-  // carries post, delete pre, update both).
+  // carries post, delete pre, update both). Quarantine records reuse
+  // `table` for the view name.
   std::string table;
   Modification mod;
   // Checkpoint records only: the LSN the snapshot covers and its path.
   uint64_t snapshot_lsn = 0;
   std::string snapshot_path;
+  // Quarantine records only: the epoch failure that caused it.
+  std::string quarantine_reason;
 };
 
 // When appended bytes are pushed to the OS and fsynced.
@@ -71,10 +77,13 @@ class WalWriter : public ModificationJournal {
 
   ~WalWriter() override;  // flushes (but does not fsync under kNone)
 
-  // ModificationJournal: journals one modification / batch commit.
+  // ModificationJournal: journals one modification / batch commit /
+  // view quarantine.
   uint64_t JournalModification(const std::string& table,
                                const Modification& mod) override;
   uint64_t JournalCommit() override;
+  uint64_t JournalQuarantine(const std::string& view,
+                             const std::string& reason) override;
 
   // Journals that a snapshot covering everything up to `snapshot_lsn` was
   // written at `snapshot_path` (always flushed + fsynced).

@@ -1,0 +1,67 @@
+#include "src/robust/epoch.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+void EpochUndo::Record(Table* table, Modification mod) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace_back(table, std::move(mod));
+}
+
+size_t EpochUndo::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void EpochUndo::RollBack() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The failed epoch must vanish from the cost model too: divert every
+  // charge the undo writes would make into an arena that is dropped.
+  StatsArena discard;
+  ScopedStatsArena scope(&discard);
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    Table* table = it->first;
+    const Modification& mod = it->second;
+    switch (mod.kind) {
+      case DiffType::kInsert: {
+        const bool erased =
+            table->DeleteByKey(ProjectRow(mod.post, table->key_indices()));
+        IDIVM_CHECK(erased, StrCat("epoch undo: inserted row vanished from ",
+                                   table->name()));
+        break;
+      }
+      case DiffType::kDelete: {
+        const bool inserted = table->Insert(mod.pre);
+        IDIVM_CHECK(inserted, StrCat("epoch undo: deleted key reappeared in ",
+                                     table->name()));
+        break;
+      }
+      case DiffType::kUpdate: {
+        // Restore as delete + re-insert so even key-affecting mutations
+        // (none are emitted today, but the undo must not care) revert.
+        const bool erased =
+            table->DeleteByKey(ProjectRow(mod.post, table->key_indices()));
+        IDIVM_CHECK(erased, StrCat("epoch undo: updated row vanished from ",
+                                   table->name()));
+        const bool inserted = table->Insert(mod.pre);
+        IDIVM_CHECK(inserted,
+                    StrCat("epoch undo: pre-image key collision in ",
+                           table->name()));
+        break;
+      }
+    }
+  }
+  entries_.clear();
+  // `discard` goes out of scope unpublished: rollback charged nothing.
+}
+
+void EpochUndo::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace idivm

@@ -1,0 +1,54 @@
+// Atomic maintenance epochs: every Maintainer::TryMaintain runs as an
+// epoch that records one undo entry (a core Modification) per stored-table
+// row it touches — APPLY inserts/deletes/updates on views and caches, and
+// the γ operator-cache mutations. On any stage failure the epoch rolls
+// every table back to its pre-epoch contents, in reverse record order,
+// before the error surfaces.
+//
+// Ordering under parallel execution: APPLYs to one target are serialized
+// by the DAG scheduler and blocking γ steps run exclusively (barriers), so
+// entries for any single table are recorded in program order; concurrent
+// entries interleaved across *different* tables commute, making the single
+// reversed sequence a correct undo whatever the interleaving was — the
+// γ-barrier-aware ordering the epoch protocol relies on.
+//
+// Rollback itself is free in the cost model (it restores the pre-epoch
+// world, including AccessStats): it runs under a discarded StatsArena.
+
+#ifndef IDIVM_ROBUST_EPOCH_H_
+#define IDIVM_ROBUST_EPOCH_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/diff/compaction.h"
+#include "src/storage/table.h"
+
+namespace idivm {
+
+class EpochUndo {
+ public:
+  EpochUndo() = default;
+  EpochUndo(const EpochUndo&) = delete;
+  EpochUndo& operator=(const EpochUndo&) = delete;
+
+  // Records one applied mutation of `table`. Inserts carry `post`, deletes
+  // `pre`, updates both (full rows). Thread-safe.
+  void Record(Table* table, Modification mod);
+
+  size_t size() const;
+
+  // Undoes every recorded mutation in reverse order and clears the log.
+  // Charges nothing (runs under a StatsArena that is never published).
+  void RollBack();
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<Table*, Modification>> entries_;
+};
+
+}  // namespace idivm
+
+#endif  // IDIVM_ROBUST_EPOCH_H_

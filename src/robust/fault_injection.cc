@@ -1,0 +1,47 @@
+#include "src/robust/fault_injection.h"
+
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, site) into uniform bits.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::Reset(const FaultPlan& plan) {
+  plan_ = plan;
+  sites_.store(0);
+  fired_.store(0);
+}
+
+Status FaultInjector::Check(const std::string& site) {
+  const uint64_t index = sites_.fetch_add(1);
+  bool fire = false;
+  if (plan_.fire_at_site != FaultPlan::kNever &&
+      index >= plan_.fire_at_site) {
+    fire = true;
+  } else if (plan_.rate > 0.0) {
+    const uint64_t h = Mix(plan_.seed ^ Mix(index));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+    fire = u < plan_.rate;
+  }
+  if (!fire) return OkStatus();
+  // Respect the fire budget without over-counting under concurrency.
+  int64_t budget = fired_.load();
+  do {
+    if (budget >= plan_.max_fires) return OkStatus();
+  } while (!fired_.compare_exchange_weak(budget, budget + 1));
+  return InjectedFaultError(
+      StrCat("injected fault at site #", index, " (", site, ")"));
+}
+
+}  // namespace idivm

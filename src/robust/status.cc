@@ -1,0 +1,36 @@
+#include "src/robust/status.h"
+
+#include "src/common/str_util.h"
+
+namespace idivm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCorruptScript:
+      return "CORRUPT_SCRIPT";
+    case StatusCode::kApplyConflict:
+      return "APPLY_CONFLICT";
+    case StatusCode::kInjectedFault:
+      return "INJECTED_FAULT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "?";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StrCat(StatusCodeName(code_), ": ", message_);
+}
+
+}  // namespace idivm

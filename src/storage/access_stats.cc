@@ -8,6 +8,10 @@ AccessStats& AccessStats::operator+=(const AccessStats& other) {
   index_lookups += other.index_lookups;
   tuple_reads += other.tuple_reads;
   tuple_writes += other.tuple_writes;
+  epoch_rollbacks += other.epoch_rollbacks;
+  degraded_retries += other.degraded_retries;
+  recompute_fallbacks += other.recompute_fallbacks;
+  quarantines += other.quarantines;
   return *this;
 }
 
@@ -15,12 +19,26 @@ AccessStats operator-(AccessStats a, const AccessStats& b) {
   a.index_lookups -= b.index_lookups;
   a.tuple_reads -= b.tuple_reads;
   a.tuple_writes -= b.tuple_writes;
+  a.epoch_rollbacks -= b.epoch_rollbacks;
+  a.degraded_retries -= b.degraded_retries;
+  a.recompute_fallbacks -= b.recompute_fallbacks;
+  a.quarantines -= b.quarantines;
   return a;
 }
 
 std::string AccessStats::ToString() const {
-  return StrCat("{lookups=", index_lookups, ", reads=", tuple_reads,
-                ", writes=", tuple_writes, ", total=", TotalAccesses(), "}");
+  std::string out =
+      StrCat("{lookups=", index_lookups, ", reads=", tuple_reads,
+             ", writes=", tuple_writes, ", total=", TotalAccesses());
+  if (epoch_rollbacks != 0 || degraded_retries != 0 ||
+      recompute_fallbacks != 0 || quarantines != 0) {
+    out += StrCat(", rollbacks=", epoch_rollbacks,
+                  ", retries=", degraded_retries,
+                  ", recomputes=", recompute_fallbacks,
+                  ", quarantines=", quarantines);
+  }
+  out += "}";
+  return out;
 }
 
 namespace {

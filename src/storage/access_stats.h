@@ -22,6 +22,18 @@ struct AccessStats {
   // One per tuple inserted/deleted/updated in a stored relation.
   int64_t tuple_writes = 0;
 
+  // ---- Degradation-ladder accounting (src/robust) ----
+  // Rung transitions of ViewManager's failure ladder, recorded here so
+  // benches can price degradation alongside the paper's cost model. Rung
+  // *work* (a single-threaded retry, a recompute) is charged to the access
+  // counters above like any other work; these count the transitions
+  // themselves and are excluded from TotalAccesses(). A failed epoch's
+  // access charges are rolled back; its rollback counter is not.
+  int64_t epoch_rollbacks = 0;      // epochs that failed and were undone
+  int64_t degraded_retries = 0;     // rung 1: single-threaded re-runs
+  int64_t recompute_fallbacks = 0;  // rung 2: view rematerializations
+  int64_t quarantines = 0;          // rung 3: views taken out of service
+
   // The paper's combined cost: data accesses = lookups + reads + writes.
   int64_t TotalAccesses() const {
     return index_lookups + tuple_reads + tuple_writes;

@@ -341,9 +341,11 @@ void BsmaWorkload::ApplyUserUpdates(ModificationLogger* logger, int64_t n) {
       static_cast<size_t>(config_.users), static_cast<size_t>(n));
   for (size_t pick : picks) {
     const int64_t uid = static_cast<int64_t>(pick);
-    logger->Update("user", {Value(uid)}, {"tweetsnum", "favornum"},
-                   {Value(rng_.UniformInt(0, 2000)),
-                    Value(rng_.UniformInt(0, 5000))});
+    IDIVM_CHECK(
+        logger->Update("user", {Value(uid)}, {"tweetsnum", "favornum"},
+                       {Value(rng_.UniformInt(0, 2000)),
+                        Value(rng_.UniformInt(0, 5000))}),
+        "user IDs are dense in [0, users)");
   }
 }
 

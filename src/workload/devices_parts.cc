@@ -114,7 +114,9 @@ void DevicesPartsWorkload::ApplyPriceUpdates(ModificationLogger* logger,
   for (size_t pick : picks) {
     const int64_t pid = live_pids_[pick];
     const double new_price = std::floor(rng_.UniformDouble() * 99) + 1;
-    logger->Update("parts", {Value(pid)}, {"price"}, {Value(new_price)});
+    IDIVM_CHECK(
+        logger->Update("parts", {Value(pid)}, {"price"}, {Value(new_price)}),
+        "price update targets a live part");
   }
 }
 
@@ -123,9 +125,11 @@ void DevicesPartsWorkload::ApplyMixedChanges(ModificationLogger* logger,
                                              int64_t updates) {
   for (int64_t i = 0; i < inserts; ++i) {
     const int64_t pid = next_pid_++;
-    logger->Insert("parts",
-                   {Value(pid), Value(std::floor(rng_.UniformDouble() * 99) +
-                                      1)});
+    IDIVM_CHECK(
+        logger->Insert("parts", {Value(pid),
+                                 Value(std::floor(rng_.UniformDouble() * 99) +
+                                       1)}),
+        "part IDs are allocated fresh");
     live_pids_.push_back(pid);
     // Link the new part into 1-2 devices (and the decomposed tables).
     const int64_t links = rng_.UniformInt(1, 2);
@@ -134,11 +138,14 @@ void DevicesPartsWorkload::ApplyMixedChanges(ModificationLogger* logger,
       if (!db_->GetTable("devices_parts")
                .LookupByKeyUncounted({Value(did), Value(pid)})
                .has_value()) {
-        logger->Insert("devices_parts", {Value(did), Value(pid)});
+        IDIVM_CHECK(
+            logger->Insert("devices_parts", {Value(did), Value(pid)}),
+            "link was just checked absent");
         for (int64_t j = 0; j < config_.extra_joins; ++j) {
-          logger->Insert(StrCat("r", j + 1),
-                         {Value(did), Value(pid),
-                          Value(rng_.UniformDouble() * 10)});
+          IDIVM_CHECK(logger->Insert(StrCat("r", j + 1),
+                                     {Value(did), Value(pid),
+                                      Value(rng_.UniformDouble() * 10)}),
+                      "decomposed link mirrors devices_parts");
         }
       }
     }
@@ -147,7 +154,8 @@ void DevicesPartsWorkload::ApplyMixedChanges(ModificationLogger* logger,
     const size_t pick = static_cast<size_t>(
         rng_.UniformInt(0, static_cast<int64_t>(live_pids_.size()) - 1));
     const int64_t pid = live_pids_[pick];
-    logger->Delete("parts", {Value(pid)});
+    IDIVM_CHECK(logger->Delete("parts", {Value(pid)}),
+                "deletes pick from live part IDs");
     live_pids_[pick] = live_pids_.back();
     live_pids_.pop_back();
   }

@@ -42,7 +42,7 @@ TEST_F(AggMaintTest, SumCountAdditivePath) {
       {{AggFunc::kSum, Col("x"), "total"}, {AggFunc::kCount, nullptr, "n"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("m", {Value(int64_t{1})}, {"x"}, {Value(15.0)});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{1})}, {"x"}, {Value(15.0)}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("a")});
   ASSERT_TRUE(row.has_value());
@@ -57,7 +57,7 @@ TEST_F(AggMaintTest, NullToValueUpdateFixesSumAndCount) {
        {AggFunc::kCount, Col("x"), "nx"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("m", {Value(int64_t{4})}, {"x"}, {Value(5.0)});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{4})}, {"x"}, {Value(5.0)}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("b")});
   EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), 35.0);
@@ -70,10 +70,10 @@ TEST_F(AggMaintTest, GroupMoveViaGroupAttributeUpdate) {
       {{AggFunc::kSum, Col("x"), "total"}, {AggFunc::kCount, nullptr, "n"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("m", {Value(int64_t{1})}, {"grp"}, {Value("b")});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{1})}, {"grp"}, {Value("b")}));
   Check(m, logger);
   // Moving the last row out deletes the group entirely.
-  logger.Update("m", {Value(int64_t{2})}, {"grp"}, {Value("c")});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{2})}, {"grp"}, {Value("c")}));
   Check(m, logger);
   EXPECT_FALSE(
       db_.GetTable("v").LookupByKeyUncounted({Value("a")}).has_value());
@@ -92,8 +92,8 @@ TEST_F(AggMaintTest, AvgUsesOperatorCache) {
   }
   EXPECT_TRUE(has_opcache);
   ModificationLogger logger(&db_);
-  logger.Update("m", {Value(int64_t{2})}, {"x"}, {Value(40.0)});
-  logger.Insert("m", {Value(int64_t{5}), Value("a"), Value(10.0)});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{2})}, {"x"}, {Value(40.0)}));
+  EXPECT_TRUE(logger.Insert("m", {Value(int64_t{5}), Value("a"), Value(10.0)}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("a")});
   EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), 20.0);  // (10+40+10)/3
@@ -104,7 +104,7 @@ TEST_F(AggMaintTest, AvgOverAllNullGroupIsNull) {
       PlanNode::Scan("m"), {"grp"}, {{AggFunc::kAvg, Col("x"), "mean"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("m", {Value(int64_t{3})}, {"x"}, {Value::Null()});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{3})}, {"x"}, {Value::Null()}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("b")});
   ASSERT_TRUE(row.has_value());
@@ -118,7 +118,7 @@ TEST_F(AggMaintTest, MinMaxRecomputeMode) {
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
   // Shrinking the max forces a true recompute (not delta-able).
-  logger.Update("m", {Value(int64_t{2})}, {"x"}, {Value(1.0)});
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{2})}, {"x"}, {Value(1.0)}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("a")});
   EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), 1.0);
@@ -131,8 +131,8 @@ TEST_F(AggMaintTest, DeleteLastRowDeletesGroup) {
       {{AggFunc::kSum, Col("x"), "total"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Delete("m", {Value(int64_t{3})});
-  logger.Delete("m", {Value(int64_t{4})});
+  EXPECT_TRUE(logger.Delete("m", {Value(int64_t{3})}));
+  EXPECT_TRUE(logger.Delete("m", {Value(int64_t{4})}));
   Check(m, logger);
   EXPECT_EQ(db_.GetTable("v").size(), 1u);
 }
@@ -143,7 +143,7 @@ TEST_F(AggMaintTest, InsertCreatesGroup) {
       {{AggFunc::kSum, Col("x"), "total"}, {AggFunc::kCount, nullptr, "n"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Insert("m", {Value(int64_t{9}), Value("z"), Value(7.0)});
+  EXPECT_TRUE(logger.Insert("m", {Value(int64_t{9}), Value("z"), Value(7.0)}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("z")});
   ASSERT_TRUE(row.has_value());
@@ -160,9 +160,9 @@ TEST_F(AggMaintTest, NonRootAggregateUsesAbsoluteUpdates) {
       PlanNode::Select(agg, Gt(Col("total"), Lit(Value(25.0))));
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("m", {Value(int64_t{1})}, {"x"}, {Value(25.0)});  // a: 45
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{1})}, {"x"}, {Value(25.0)}));  // a: 45
   Check(m, logger);
-  logger.Update("m", {Value(int64_t{1})}, {"x"}, {Value(1.0)});  // a: 21
+  EXPECT_TRUE(logger.Update("m", {Value(int64_t{1})}, {"x"}, {Value(1.0)}));  // a: 21
   Check(m, logger);
   EXPECT_FALSE(
       db_.GetTable("v").LookupByKeyUncounted({Value("a")}).has_value());
@@ -175,7 +175,7 @@ TEST_F(AggMaintTest, CountStarVsCountArg) {
        {AggFunc::kCount, Col("x"), "vals"}});
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Insert("m", {Value(int64_t{10}), Value("b"), Value::Null()});
+  EXPECT_TRUE(logger.Insert("m", {Value(int64_t{10}), Value("b"), Value::Null()}));
   Check(m, logger);
   const auto row = db_.GetTable("v").LookupByKeyUncounted({Value("b")});
   EXPECT_EQ((*row)[1].AsInt64(), 3);  // rows

@@ -54,8 +54,8 @@ TEST_F(EffectivenessIntegrationTest, UpdateRoundEmitsEffectiveDiffs) {
     if (!diff.schema().additive()) applied.push_back({target, diff});
   });
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
-  logger.Update("parts", {Value("P2")}, {"price"}, {Value(21.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
+  EXPECT_TRUE(logger.Update("parts", {Value("P2")}, {"price"}, {Value(21.0)}));
   m.Maintain(logger.NetChanges());
   EXPECT_FALSE(applied.empty());
   VerifyAllApplied(m, applied);
@@ -70,9 +70,9 @@ TEST_F(EffectivenessIntegrationTest, InsertDeleteRoundEmitsEffectiveDiffs) {
     applied.push_back({target, diff});
   });
   ModificationLogger logger(&db_);
-  logger.Insert("parts", {Value("P4"), Value(5.0)});
-  logger.Insert("devices_parts", {Value("D1"), Value("P4")});
-  logger.Delete("devices_parts", {Value("D2"), Value("P1")});
+  EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(5.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D1"), Value("P4")}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D2"), Value("P1")}));
   m.Maintain(logger.NetChanges());
   EXPECT_GE(applied.size(), 2u);
   VerifyAllApplied(m, applied);
@@ -87,7 +87,7 @@ TEST_F(EffectivenessIntegrationTest, ObserverSeesEveryApplyTarget) {
         if (!diff.empty()) targets.insert(target);
       });
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)}));
   m.Maintain(logger.NetChanges());
   // Both the intermediate cache and the view receive diffs.
   EXPECT_EQ(targets.size(), 2u);

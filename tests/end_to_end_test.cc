@@ -50,7 +50,7 @@ TEST_F(EndToEndTest, PriceUpdatePropagates) {
   // The Example 1.1 change: P1's price 10 -> 11 updates two view tuples.
   Maintainer m = CompileSpj();
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
   const MaintainResult result = m.Maintain(logger.NetChanges());
   ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
   EXPECT_EQ(result.rows_touched, 2);  // both P1 tuples
@@ -61,7 +61,7 @@ TEST_F(EndToEndTest, OverestimatedUpdateIsDummy) {
   // (Section 1's overestimation example) but a correct view.
   Maintainer m = CompileSpj();
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P3")}, {"price"}, {Value(25.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P3")}, {"price"}, {Value(25.0)}));
   const MaintainResult result = m.Maintain(logger.NetChanges());
   ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
   EXPECT_EQ(result.rows_touched, 0);
@@ -71,9 +71,9 @@ TEST_F(EndToEndTest, OverestimatedUpdateIsDummy) {
 TEST_F(EndToEndTest, InsertsPropagate) {
   Maintainer m = CompileSpj();
   ModificationLogger logger(&db_);
-  logger.Insert("parts", {Value("P4"), Value(30.0)});
-  logger.Insert("devices_parts", {Value("D1"), Value("P4")});
-  logger.Insert("devices_parts", {Value("D3"), Value("P4")});  // tablet: out
+  EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(30.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D1"), Value("P4")}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D3"), Value("P4")}));  // tablet: out
   MaintainAndCheck(m, logger, m.view().plan, "v");
   EXPECT_EQ(db_.GetTable("v").size(), 4u);
 }
@@ -81,7 +81,7 @@ TEST_F(EndToEndTest, InsertsPropagate) {
 TEST_F(EndToEndTest, DeletesPropagate) {
   Maintainer m = CompileSpj();
   ModificationLogger logger(&db_);
-  logger.Delete("devices_parts", {Value("D2"), Value("P1")});
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D2"), Value("P1")}));
   MaintainAndCheck(m, logger, m.view().plan, "v");
   EXPECT_EQ(db_.GetTable("v").size(), 2u);
 }
@@ -90,8 +90,8 @@ TEST_F(EndToEndTest, SelectionFlipInsertsAndDeletes) {
   // Re-categorizing a device moves its tuples in and out of the view.
   Maintainer m = CompileSpj();
   ModificationLogger logger(&db_);
-  logger.Update("devices", {Value("D3")}, {"category"}, {Value("phone")});
-  logger.Update("devices", {Value("D2")}, {"category"}, {Value("tablet")});
+  EXPECT_TRUE(logger.Update("devices", {Value("D3")}, {"category"}, {Value("phone")}));
+  EXPECT_TRUE(logger.Update("devices", {Value("D2")}, {"category"}, {Value("tablet")}));
   MaintainAndCheck(m, logger, m.view().plan, "v");
 }
 
@@ -100,7 +100,7 @@ TEST_F(EndToEndTest, AggregateViewUpdate) {
   // aggregate view.
   Maintainer m = CompileAgg();
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
   MaintainAndCheck(m, logger, m.view().plan, "vp");
   // D1: P1(11) + P2(20) = 31; D2: P1(11) = 11.
   const Relation view = db_.GetTable("vp").SnapshotUncounted().Sorted();
@@ -113,12 +113,12 @@ TEST_F(EndToEndTest, AggregateGroupCreationAndDeletion) {
   Maintainer m = CompileAgg();
   ModificationLogger logger(&db_);
   // D3 becomes a phone: group D3 appears.
-  logger.Update("devices", {Value("D3")}, {"category"}, {Value("phone")});
+  EXPECT_TRUE(logger.Update("devices", {Value("D3")}, {"category"}, {Value("phone")}));
   MaintainAndCheck(m, logger, m.view().plan, "vp");
   EXPECT_EQ(db_.GetTable("vp").size(), 3u);
   // Delete all of D1's links: group D1 disappears.
-  logger.Delete("devices_parts", {Value("D1"), Value("P1")});
-  logger.Delete("devices_parts", {Value("D1"), Value("P2")});
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D1"), Value("P1")}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D1"), Value("P2")}));
   MaintainAndCheck(m, logger, m.view().plan, "vp");
   EXPECT_EQ(db_.GetTable("vp").size(), 2u);
 }
@@ -126,11 +126,11 @@ TEST_F(EndToEndTest, AggregateGroupCreationAndDeletion) {
 TEST_F(EndToEndTest, MixedBatchAcrossTables) {
   Maintainer m = CompileAgg();
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P2")}, {"price"}, {Value(22.0)});
-  logger.Insert("parts", {Value("P4"), Value(5.0)});
-  logger.Insert("devices_parts", {Value("D2"), Value("P4")});
-  logger.Delete("devices_parts", {Value("D1"), Value("P1")});
-  logger.Update("devices", {Value("D2")}, {"category"}, {Value("tablet")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P2")}, {"price"}, {Value(22.0)}));
+  EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(5.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D2"), Value("P4")}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D1"), Value("P1")}));
+  EXPECT_TRUE(logger.Update("devices", {Value("D2")}, {"category"}, {Value("tablet")}));
   MaintainAndCheck(m, logger, m.view().plan, "vp");
 }
 
@@ -138,10 +138,10 @@ TEST_F(EndToEndTest, MultipleRoundsStayConsistent) {
   Maintainer m = CompileAgg();
   ModificationLogger logger(&db_);
   for (int round = 0; round < 5; ++round) {
-    logger.Update("parts", {Value("P1")}, {"price"},
-                  {Value(10.0 + round)});
-    logger.Update("parts", {Value("P2")}, {"price"},
-                  {Value(20.0 - round)});
+    EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"},
+                  {Value(10.0 + round)}));
+    EXPECT_TRUE(logger.Update("parts", {Value("P2")}, {"price"},
+                  {Value(20.0 - round)}));
     MaintainAndCheck(m, logger, m.view().plan, "vp");
   }
 }
@@ -150,8 +150,8 @@ TEST_F(EndToEndTest, CompactedNoOpProducesNoChanges) {
   Maintainer m = CompileSpj();
   ModificationLogger logger(&db_);
   // Update and revert within one batch: the net change is empty.
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(99.0)});
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(10.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(99.0)}));
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(10.0)}));
   const MaintainResult result = m.Maintain(logger.NetChanges());
   EXPECT_EQ(result.rows_touched, 0);
   ExpectViewMatchesRecompute(&db_, m.view().plan, "v");

@@ -34,7 +34,7 @@ TEST_F(MaintainerTest, PhaseAccounting) {
   Maintainer m(&db_, CompileView("vp", testing::RunningExampleAggPlan(db_),
                                  db_));
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
   db_.stats().Reset();
   const MaintainResult result = m.Maintain(logger.NetChanges());
   // Update on a non-conditional attribute: zero diff computation (the
@@ -55,9 +55,9 @@ TEST_F(MaintainerTest, CacheStaysConsistent) {
                                  db_));
   const std::string cache = m.view().cache_tables[0];
   ModificationLogger logger(&db_);
-  logger.Insert("parts", {Value("P5"), Value(50.0)});
-  logger.Insert("devices_parts", {Value("D1"), Value("P5")});
-  logger.Delete("devices_parts", {Value("D2"), Value("P1")});
+  EXPECT_TRUE(logger.Insert("parts", {Value("P5"), Value(50.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D1"), Value("P5")}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D2"), Value("P1")}));
   m.Maintain(logger.NetChanges());
   // Cache == recomputed SPJ subview.
   EvalContext ctx;
@@ -84,7 +84,7 @@ TEST_F(MaintainerTest, MaintainTwiceWithoutClearIsIdempotentPerLog) {
   Maintainer m(&db_, CompileView("v", testing::RunningExampleSpjPlan(db_),
                                  db_));
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
   const auto net = logger.NetChanges();
   m.Maintain(net);
   m.Maintain(net);
@@ -98,8 +98,8 @@ TEST_F(MaintainerTest, TwoViewsOverOneDatabase) {
                                    testing::RunningExampleAggPlan(db_),
                                    db_));
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P2")}, {"price"}, {Value(25.0)});
-  logger.Update("devices", {Value("D1")}, {"category"}, {Value("tablet")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P2")}, {"price"}, {Value(25.0)}));
+  EXPECT_TRUE(logger.Update("devices", {Value("D1")}, {"category"}, {Value("tablet")}));
   const auto net = logger.NetChanges();
   spj.Maintain(net);
   agg.Maintain(net);

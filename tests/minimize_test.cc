@@ -164,8 +164,8 @@ TEST_F(MinimizeTest, MinimizedCompilationStaysCorrect) {
   Maintainer m(&db, CompileView("v", testing::RunningExampleSpjPlan(db), db,
                                 options));
   ModificationLogger logger(&db);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)});
-  logger.Update("devices", {Value("D2")}, {"category"}, {Value("tablet")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)}));
+  EXPECT_TRUE(logger.Update("devices", {Value("D2")}, {"category"}, {Value("tablet")}));
   m.Maintain(logger.NetChanges());
   testing::ExpectViewMatchesRecompute(&db, m.view().plan, "v");
 }

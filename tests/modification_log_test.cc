@@ -71,17 +71,17 @@ TEST_F(ModLogTest, ApplyReplaysRecordedModifications) {
 
 TEST_F(ModLogTest, LoggerRejectsKeyMutation) {
   ModificationLogger logger(&db_);
-  EXPECT_DEATH(logger.Update("parts", {Value("P1")}, {"pid"},
+  EXPECT_DEATH((void)logger.Update("parts", {Value("P1")}, {"pid"},
                              {Value("P9")}),
                "immutable");
 }
 
 TEST_F(ModLogTest, NetChangesCompactPerKey) {
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)});
-  logger.Insert("parts", {Value("P4"), Value(1.0)});
-  logger.Delete("parts", {Value("P4")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)}));
+  EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(1.0)}));
+  EXPECT_TRUE(logger.Delete("parts", {Value("P4")}));
   const auto net = logger.NetChanges();
   ASSERT_EQ(net.at("parts").size(), 1u);
   EXPECT_DOUBLE_EQ(net.at("parts")[0].post[1].AsDouble(), 12.0);
@@ -91,9 +91,9 @@ TEST_F(ModLogTest, InstancesRoutedToMatchingSchemas) {
   const CompiledView view =
       CompileView("v", testing::RunningExampleSpjPlan(db_), db_);
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
-  logger.Insert("devices", {Value("D4"), Value("phone")});
-  logger.Delete("devices_parts", {Value("D1"), Value("P2")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
+  EXPECT_TRUE(logger.Insert("devices", {Value("D4"), Value("phone")}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D1"), Value("P2")}));
 
   const auto instances =
       GenerateDiffInstances(view, logger.NetChanges(), db_);
@@ -133,8 +133,8 @@ TEST_F(ModLogTest, SpanningUpdateGoesToUnionSchemaOnly) {
   const CompiledView view = CompileView("vw", plan, db_);
 
   ModificationLogger logger(&db_);
-  logger.Update("wide", {Value(int64_t{1})}, {"cond", "payload"},
-                {Value(int64_t{7}), Value(2.0)});
+  EXPECT_TRUE(logger.Update("wide", {Value(int64_t{1})}, {"cond", "payload"},
+                {Value(int64_t{7}), Value(2.0)}));
   const auto instances =
       GenerateDiffInstances(view, logger.NetChanges(), db_);
   // Exactly ONE update instance non-empty: the {cond, payload} union schema.
@@ -158,7 +158,7 @@ TEST_F(ModLogTest, TypeChangingUpdateIsRealChange) {
                {{Value(int64_t{1}), Value::Null()}}));
   const CompiledView view = CompileView("vn", PlanNode::Scan("n"), db_);
   ModificationLogger logger(&db_);
-  logger.Update("n", {Value(int64_t{1})}, {"x"}, {Value(3.0)});
+  EXPECT_TRUE(logger.Update("n", {Value(int64_t{1})}, {"x"}, {Value(3.0)}));
   const auto instances =
       GenerateDiffInstances(view, logger.NetChanges(), db_);
   bool found = false;

@@ -14,6 +14,8 @@
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/status.h"
 #include "src/workload/bsma.h"
 #include "tests/test_util.h"
 
@@ -112,12 +114,12 @@ TEST(ParallelMaintainTest, AggregateViewDeterministicUnderMixedChanges) {
     const PlanPtr plan = testing::RunningExampleAggPlan(db);
     Maintainer m(&db, CompileView("vagg", plan, db));
     ModificationLogger logger(&db);
-    logger.Insert("parts", {Value("P4"), Value(35.0)});
-    logger.Insert("devices", {Value("D4"), Value("phone")});
-    logger.Insert("devices_parts", {Value("D4"), Value("P4")});
-    logger.Insert("devices_parts", {Value("D2"), Value("P2")});
-    logger.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)});
-    logger.Delete("devices_parts", {Value("D1"), Value("P2")});
+    EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(35.0)}));
+    EXPECT_TRUE(logger.Insert("devices", {Value("D4"), Value("phone")}));
+    EXPECT_TRUE(logger.Insert("devices_parts", {Value("D4"), Value("P4")}));
+    EXPECT_TRUE(logger.Insert("devices_parts", {Value("D2"), Value("P2")}));
+    EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)}));
+    EXPECT_TRUE(logger.Delete("devices_parts", {Value("D1"), Value("P2")}));
     db.stats().Reset();
     const MaintainResult result =
         m.Maintain(logger.NetChanges(), MaintainOptions{.threads = threads});
@@ -175,6 +177,95 @@ TEST(ParallelMaintainTest, StatsNeverRegressOrDoubleCountAcrossRounds) {
     EXPECT_GT(current.TotalAccesses(), previous.TotalAccesses()) << label;
     ExpectStatsEq(seq_db.stats(), current, label + " vs sequential twin");
     previous = current;
+  }
+}
+
+// A fault injected into ONE worker of a parallel epoch must abort the
+// whole epoch: every table rolled back byte-identically, stats exactly
+// pre-epoch (failed epochs publish nothing), and a clean re-run at the
+// same thread count must match the sequential baseline exactly. Runs under
+// TSan in CI (the rollback path itself must be race-free).
+TEST(ParallelMaintainTest, MidEpochFaultRollsBackAtEveryThreadCount) {
+  BsmaConfig config;
+  config.users = 200;
+  const int64_t kUpdates = 25;
+
+  auto snapshot_all = [](Database* db) {
+    std::map<std::string, std::string> out;
+    for (const std::string& name : db->TableNames()) {
+      out[name] =
+          db->GetTable(name).SnapshotUncounted().Sorted().ToString();
+    }
+    return out;
+  };
+
+  RunObservation baseline;
+  for (const int threads : {1, 2, 4, 8}) {
+    const std::string label = "threads=" + std::to_string(threads);
+    Database db;
+    BsmaWorkload workload(&db, config);
+    Maintainer m(&db, CompileView("qs1", workload.ViewPlan("qs1"), db));
+    ModificationLogger logger(&db);
+    workload.ApplyUserUpdates(&logger, kUpdates);
+    const auto net = logger.NetChanges();
+    db.stats().Reset();
+
+    // Size the fault surface with a never-firing probe on a twin database,
+    // so the faulty run below can fail mid-script.
+    uint64_t total_sites = 0;
+    {
+      Database twin;
+      BsmaWorkload twin_workload(&twin, config);
+      Maintainer twin_m(
+          &twin, CompileView("qs1", twin_workload.ViewPlan("qs1"), twin));
+      ModificationLogger twin_logger(&twin);
+      twin_workload.ApplyUserUpdates(&twin_logger, kUpdates);
+      FaultInjector probe;
+      MaintainOptions options;
+      options.threads = threads;
+      options.fault = &probe;
+      MaintainResult result;
+      ASSERT_TRUE(
+          twin_m.TryMaintain(twin_logger.NetChanges(), options, &result)
+              .ok())
+          << label;
+      total_sites = probe.sites_visited();
+    }
+    ASSERT_GT(total_sites, 1u) << label;
+
+    const std::map<std::string, std::string> before = snapshot_all(&db);
+    const std::string stats_before = db.stats().ToString();
+
+    FaultPlan plan;
+    plan.fire_at_site = total_sites / 2;  // mid-epoch, whichever step owns it
+    FaultInjector injector(plan);
+    MaintainOptions options;
+    options.threads = threads;
+    options.fault = &injector;
+    MaintainResult result;
+    const Status status = m.TryMaintain(net, options, &result);
+    ASSERT_FALSE(status.ok()) << label;
+    EXPECT_EQ(status.code(), StatusCode::kInjectedFault) << label;
+
+    const std::map<std::string, std::string> after = snapshot_all(&db);
+    ASSERT_EQ(after.size(), before.size()) << label;
+    for (const auto& [name, contents] : before) {
+      EXPECT_EQ(after.at(name), contents) << label << ": table " << name;
+    }
+    EXPECT_EQ(db.stats().ToString(), stats_before) << label;
+
+    // The epoch was all-or-nothing: a clean re-run lands exactly on the
+    // sequential result.
+    const MaintainResult clean =
+        m.Maintain(net, MaintainOptions{.threads = threads});
+    const RunObservation obs = Observe(&db, "qs1", clean);
+    if (threads == 1) {
+      baseline = obs;
+    } else {
+      ExpectObservationEq(baseline, obs, label + " after rollback");
+    }
+    testing::ExpectViewMatchesRecompute(&db, workload.ViewPlan("qs1"),
+                                        "qs1", label);
   }
 }
 

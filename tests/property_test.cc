@@ -208,52 +208,52 @@ void ApplyRandomBatch(Database* db, ModificationLogger* logger, Rng* rng,
     const int choice = static_cast<int>(rng->UniformInt(0, 9));
     switch (choice) {
       case 0:  // insert into r
-        logger->Insert("r", {Value((*next_rid)++),
+        (void)logger->Insert("r", {Value((*next_rid)++),
                              Value(rng->UniformInt(0, kJoinDomain - 1)),
                              Value(static_cast<double>(
                                  rng->UniformInt(0, 50))),
                              Value(rng->Bernoulli(0.5) ? "x" : "y")});
         break;
       case 1: {  // delete from r (may miss)
-        logger->Delete("r", {Value(rng->UniformInt(0, *next_rid - 1))});
+        (void)logger->Delete("r", {Value(rng->UniformInt(0, *next_rid - 1))});
         break;
       }
       case 2:
       case 3: {  // update r non-conditional value
-        logger->Update("r", {Value(rng->UniformInt(0, *next_rid - 1))},
+        (void)logger->Update("r", {Value(rng->UniformInt(0, *next_rid - 1))},
                        {"rc"},
                        {Value(static_cast<double>(rng->UniformInt(0, 50)))});
         break;
       }
       case 4: {  // update r join attribute (condition flip)
-        logger->Update("r", {Value(rng->UniformInt(0, *next_rid - 1))},
+        (void)logger->Update("r", {Value(rng->UniformInt(0, *next_rid - 1))},
                        {"rb"}, {Value(rng->UniformInt(0, kJoinDomain - 1))});
         break;
       }
       case 5: {  // update r grouping string
-        logger->Update("r", {Value(rng->UniformInt(0, *next_rid - 1))},
+        (void)logger->Update("r", {Value(rng->UniformInt(0, *next_rid - 1))},
                        {"rs"}, {Value(rng->Bernoulli(0.5) ? "x" : "y")});
         break;
       }
       case 6: {  // update s
-        logger->Update("s", {Value(rng->UniformInt(0, kJoinDomain - 1))},
+        (void)logger->Update("s", {Value(rng->UniformInt(0, kJoinDomain - 1))},
                        {"se"},
                        {Value(static_cast<double>(rng->UniformInt(0, 20)))});
         break;
       }
       case 7: {  // insert into t
-        logger->Insert("t", {Value((*next_tid)++),
+        (void)logger->Insert("t", {Value((*next_tid)++),
                              Value(rng->UniformInt(0, kJoinDomain - 1)),
                              Value(static_cast<double>(
                                  rng->UniformInt(0, 30)))});
         break;
       }
       case 8: {  // delete from t
-        logger->Delete("t", {Value(rng->UniformInt(0, *next_tid - 1))});
+        (void)logger->Delete("t", {Value(rng->UniformInt(0, *next_tid - 1))});
         break;
       }
       case 9: {  // update t condition attribute
-        logger->Update("t", {Value(rng->UniformInt(0, *next_tid - 1))},
+        (void)logger->Update("t", {Value(rng->UniformInt(0, *next_tid - 1))},
                        {"tw"},
                        {Value(static_cast<double>(rng->UniformInt(0, 30)))});
         break;

@@ -62,10 +62,10 @@ TEST_F(ScriptIoRoundTrip, SpjViewMaintainsIdentically) {
   // Maintain through the RELOADED script.
   Maintainer m(&db_, loaded.view);
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)});
-  logger.Insert("parts", {Value("P4"), Value(9.0)});
-  logger.Insert("devices_parts", {Value("D2"), Value("P4")});
-  logger.Update("devices", {Value("D3")}, {"category"}, {Value("phone")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(11.0)}));
+  EXPECT_TRUE(logger.Insert("parts", {Value("P4"), Value(9.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D2"), Value("P4")}));
+  EXPECT_TRUE(logger.Update("devices", {Value("D3")}, {"category"}, {Value("phone")}));
   m.Maintain(logger.NetChanges());
   testing::ExpectViewMatchesRecompute(&db_, loaded.view.plan, "v");
 }
@@ -80,8 +80,8 @@ TEST_F(ScriptIoRoundTrip, AggregateViewWithCacheAndNativeSteps) {
 
   Maintainer m(&db_, loaded.view);
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)});
-  logger.Delete("devices_parts", {Value("D1"), Value("P2")});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D1"), Value("P2")}));
   m.Maintain(logger.NetChanges());
   testing::ExpectViewMatchesRecompute(&db_, loaded.view.plan, "vp");
 }

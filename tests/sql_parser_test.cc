@@ -78,7 +78,7 @@ TEST_F(SqlParserTest, ParsedViewIsMaintainable) {
   ASSERT_TRUE(result.ok()) << result.error;
   Maintainer m(&db_, CompileView("v", result.plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(42.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(42.0)}));
   m.Maintain(logger.NetChanges());
   testing::ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
 }
@@ -184,7 +184,7 @@ TEST_F(SqlParserTest, BetweenAndIn) {
   // Desugared forms stay maintainable views.
   Maintainer m(&db_, CompileView("v", between.plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(18.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(18.0)}));
   m.Maintain(logger.NetChanges());
   testing::ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
 }

@@ -71,7 +71,7 @@ TEST(ViewAssistTest, LinkInsertsAvoidBaseTable) {
               .has_value()) {
         continue;
       }
-      logger.Insert("devices_parts", {Value(did), Value(pid)});
+      EXPECT_TRUE(logger.Insert("devices_parts", {Value(did), Value(pid)}));
       ++added;
       break;  // next pid
     }
@@ -92,7 +92,7 @@ TEST(ViewAssistTest, LinkInsertsAvoidBaseTable) {
   ModificationLogger logger2(&db2);
   for (const auto& [table, mods] : logger.log()) {
     for (const Modification& mod : mods) {
-      logger2.Insert(table, mod.post);
+      EXPECT_TRUE(logger2.Insert(table, mod.post));
     }
   }
   db2.stats().Reset();
@@ -109,8 +109,8 @@ TEST(ViewAssistTest, MissFallsBackToBaseTable) {
   Maintainer m(&db, CompileView("vp", workload.AggViewPlan(), db,
                                 AssistOptions()));
   ModificationLogger logger(&db);
-  logger.Insert("parts", {Value(int64_t{9999}), Value(55.0)});
-  logger.Insert("devices_parts", {Value(int64_t{0}), Value(int64_t{9999})});
+  EXPECT_TRUE(logger.Insert("parts", {Value(int64_t{9999}), Value(55.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value(int64_t{0}), Value(int64_t{9999})}));
   db.stats().Reset();
   db.GetTable("parts").ResetLocalStats();
   m.Maintain(logger.NetChanges());
@@ -125,13 +125,13 @@ TEST(ViewAssistTest, UpdatesDisableAssistForSafety) {
   Maintainer m(&db, CompileView("vp", workload.AggViewPlan(), db,
                                 AssistOptions()));
   ModificationLogger logger(&db);
-  logger.Update("parts", {Value(int64_t{5})}, {"price"}, {Value(77.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value(int64_t{5})}, {"price"}, {Value(77.0)}));
   // Link part 5 into a device in the same batch.
   for (int64_t did = 0; did < 150; ++did) {
     if (!db.GetTable("devices_parts")
              .LookupByKeyUncounted({Value(did), Value(int64_t{5})})
              .has_value()) {
-      logger.Insert("devices_parts", {Value(did), Value(int64_t{5})});
+      EXPECT_TRUE(logger.Insert("devices_parts", {Value(did), Value(int64_t{5})}));
       break;
     }
   }

@@ -99,7 +99,7 @@ TEST_F(ViewBuilderTest, BuiltViewIsMaintainable) {
                            .Build();
   Maintainer m(&db_, CompileView("v", plan, db_));
   ModificationLogger logger(&db_);
-  logger.Update("parts", {Value("P1")}, {"price"}, {Value(99.0)});
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"}, {Value(99.0)}));
   m.Maintain(logger.NetChanges());
   testing::ExpectViewMatchesRecompute(&db_, m.view().plan, "v");
 }
