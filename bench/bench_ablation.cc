@@ -11,7 +11,8 @@
 #include "bench/bench_util.h"
 #include "src/core/minimize.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -73,5 +74,6 @@ int main() {
                 "%d\n",
                 rewrites);
   }
+  obs.WriteOutputs();
   return 0;
 }

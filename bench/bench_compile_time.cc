@@ -10,10 +10,12 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/core/compose.h"
 #include "src/workload/devices_parts.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
 
   std::printf("\nContribution (c): ∆-script generation cost vs. view size\n\n");
@@ -51,5 +53,6 @@ int main() {
       "from below) — polynomial as contribution (c) claims, never "
       "exponential; and the generated i-diff schemas stay linear despite "
       "the exponential schema space (contribution d).\n");
+  obs.WriteOutputs();
   return 0;
 }

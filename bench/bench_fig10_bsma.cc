@@ -95,8 +95,10 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   DegradePolicy policy = DegradePolicy::kQuarantine;
   int64_t max_epoch_ops = 0;
+  bench::ObsFlags obs;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (obs.Match(argc, argv, &i)) {
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = bench::ParsePositiveIntFlag(
           "--threads", bench::FlagValue("--threads", argc, argv, &i));
     } else if (std::strcmp(argv[i], "--users") == 0) {
@@ -118,17 +120,21 @@ int main(int argc, char** argv) {
       bench::FlagError(argv[i],
                        "is not recognized (supported: --threads N, --users N, "
                        "--inject-fault-rate R, --degrade-policy P, "
-                       "--max-epoch-ops N)");
+                       "--max-epoch-ops N, --trace-out PATH, "
+                       "--metrics-out PATH)");
     }
   }
+  obs.Install();
 
   BsmaConfig config;  // defaults: 2000 users, paper table ratios
   if (users > 0) config.users = users;
   const int64_t kUpdates = 100;
 
   if (fault_rate > 0.0 || max_epoch_ops > 0) {
-    return RunChaosMode(config, kUpdates, threads, fault_rate, policy,
-                        max_epoch_ops);
+    const int exit_code = RunChaosMode(config, kUpdates, threads, fault_rate,
+                                       policy, max_epoch_ops);
+    obs.WriteOutputs();
+    return exit_code;
   }
 
   std::printf("\nFigure 10: BSMA social analytics, %lld user-attribute "
@@ -152,7 +158,9 @@ int main(int argc, char** argv) {
     {
       Database db;
       BsmaWorkload workload(&db, config);
-      Maintainer m(&db, CompileView("v", workload.ViewPlan(view), db));
+      // Compile under the BSMA name so trace spans ("epoch q10") and the
+      // per-rule counters (view="q10") identify the view, not a generic "v".
+      Maintainer m(&db, CompileView(view, workload.ViewPlan(view), db));
       ModificationLogger logger(&db);
       workload.ApplyUserUpdates(&logger, kUpdates);
       db.stats().Reset();
@@ -162,7 +170,7 @@ int main(int argc, char** argv) {
     {
       Database db;
       BsmaWorkload workload(&db, config);
-      TupleIvm tivm(&db, "v", workload.ViewPlan(view));
+      TupleIvm tivm(&db, view, workload.ViewPlan(view));
       ModificationLogger logger(&db);
       workload.ApplyUserUpdates(&logger, kUpdates);
       db.stats().Reset();
@@ -179,5 +187,6 @@ int main(int argc, char** argv) {
                 id_acc > 0 ? tuple_acc / id_acc : 0.0,
                 paper.at(view).c_str());
   }
+  obs.WriteOutputs();
   return 0;
 }

@@ -9,7 +9,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -42,5 +43,6 @@ int main() {
                          static_cast<double>(id.TotalAccesses()),
                      tuple.TotalSeconds() / id.TotalSeconds());
   }
+  obs.WriteOutputs();
   return 0;
 }

@@ -8,7 +8,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -36,5 +37,6 @@ int main() {
                          static_cast<double>(id.TotalAccesses()),
                      tuple.TotalSeconds() / id.TotalSeconds());
   }
+  obs.WriteOutputs();
   return 0;
 }

@@ -5,7 +5,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -32,5 +33,6 @@ int main() {
                          static_cast<double>(id.TotalAccesses()),
                      tuple.TotalSeconds() / id.TotalSeconds());
   }
+  obs.WriteOutputs();
   return 0;
 }

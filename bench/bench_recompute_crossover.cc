@@ -8,7 +8,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -54,5 +55,6 @@ int main() {
                 "parts).\n",
                 static_cast<long long>(config.num_parts));
   }
+  obs.WriteOutputs();
   return 0;
 }

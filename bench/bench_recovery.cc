@@ -38,8 +38,10 @@ int main(int argc, char** argv) {
   int threads = 1;
   WalOptions wal_options;
   std::string wal_dir;
+  ObsFlags obs;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--users") == 0) {
+    if (obs.Match(argc, argv, &i)) {
+    } else if (std::strcmp(argv[i], "--users") == 0) {
       users = ParsePositiveIntFlag("--users",
                                    FlagValue("--users", argc, argv, &i));
     } else if (std::strcmp(argv[i], "--mods") == 0) {
@@ -64,9 +66,11 @@ int main(int argc, char** argv) {
     } else {
       FlagError(argv[i],
                 "is not recognized (supported: --users --mods --commit-every "
-                "--threads --sync --every-n --wal-dir)");
+                "--threads --sync --every-n --wal-dir --trace-out "
+                "--metrics-out)");
     }
   }
+  obs.Install();
   if (wal_dir.empty()) {
     char pattern[] = "/tmp/idivm-bench-recovery-XXXXXX";
     if (mkdtemp(pattern) == nullptr) {
@@ -173,6 +177,7 @@ int main(int argc, char** argv) {
                         std::max<int64_t>(replay.accesses.TotalAccesses(), 1)),
                 match ? "yes" : "NO");
   }
+  obs.WriteOutputs();
   if (!all_match) {
     std::fprintf(stderr, "\nFAIL: replayed state diverges from recompute\n");
     return 1;

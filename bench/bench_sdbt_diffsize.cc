@@ -9,7 +9,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -35,5 +36,6 @@ int main() {
         static_cast<double>(streams.TotalAccesses()) /
             static_cast<double>(id.TotalAccesses()));
   }
+  obs.WriteOutputs();
   return 0;
 }

@@ -13,7 +13,8 @@
 #include "bench/bench_util.h"
 #include "src/analysis/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -75,5 +76,6 @@ int main() {
                                measured_speedup)
                     .c_str());
   }
+  obs.WriteOutputs();
   return 0;
 }

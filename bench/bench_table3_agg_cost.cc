@@ -15,7 +15,8 @@
 #include "bench/bench_util.h"
 #include "src/analysis/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
   using namespace idivm::bench;
 
@@ -70,5 +71,6 @@ int main() {
   std::printf("Insert-heavy bound (Sec. 6.2b): speedup >= a/(a+k); e.g. "
               "a=22, k=2 -> %.2f (bounded loss, 1 per inserted tuple)\n",
               InsertBoundSpeedup(22, 2));
+  obs.WriteOutputs();
   return 0;
 }

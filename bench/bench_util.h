@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
 #include "src/core/view_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sdbt/sdbt.h"
 #include "src/tivm/tuple_ivm.h"
 #include "src/workload/devices_parts.h"
@@ -97,6 +100,93 @@ inline DegradePolicy ParseDegradePolicyFlag(const char* flag,
     std::exit(2);
   }
   return *policy;
+}
+
+// ---- Observability flags (docs/OBSERVABILITY.md) -------------------------
+// Every bench main() accepts --trace-out PATH and --metrics-out PATH, in
+// both "--flag PATH" and "--flag=PATH" spellings. --trace-out installs a
+// process-global TraceRecorder so the whole run is captured; the outputs
+// are written by WriteOutputs() on every exit path.
+
+// If argv[*i] is `flag` (either spelling), stores its value in *out and
+// returns true, advancing *i past a separate value argument.
+inline bool MatchStringFlag(const char* flag, int argc, char** argv, int* i,
+                            std::string* out) {
+  const std::string arg = argv[*i];
+  if (arg == flag) {
+    *out = FlagValue(flag, argc, argv, i);
+    return true;
+  }
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.compare(0, prefix.size(), prefix) == 0) {
+    *out = arg.substr(prefix.size());
+    if (out->empty()) FlagError(flag, "requires a value");
+    return true;
+  }
+  return false;
+}
+
+class ObsFlags {
+ public:
+  // Consumes --trace-out / --metrics-out at argv[*i]; returns false for
+  // any other flag (caller handles it).
+  bool Match(int argc, char** argv, int* i) {
+    return MatchStringFlag("--trace-out", argc, argv, i, &trace_out_) ||
+           MatchStringFlag("--metrics-out", argc, argv, i, &metrics_out_);
+  }
+
+  // Call once after flag parsing, before the measured work: installs the
+  // process-global recorder when --trace-out was given.
+  void Install() {
+    if (trace_out_.empty()) return;
+    recorder_ = std::make_unique<obs::TraceRecorder>();
+    obs::TraceRecorder::SetCurrentThreadName("main");
+    obs::SetGlobalTrace(recorder_.get());
+  }
+
+  // Writes the requested outputs; call before every successful exit. Exits
+  // with status 1 on I/O failure so CI catches an unwritable path.
+  void WriteOutputs() {
+    if (recorder_ != nullptr) {
+      obs::SetGlobalTrace(nullptr);
+      if (!recorder_->WriteChromeTrace(trace_out_)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_out_.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "trace: %zu spans -> %s\n", recorder_->size(),
+                   trace_out_.c_str());
+    }
+    if (!metrics_out_.empty()) {
+      if (!obs::MetricsRegistry::Global().WriteText(metrics_out_)) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     metrics_out_.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "metrics -> %s\n", metrics_out_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+// Flag loop for benches whose only flags are the observability ones.
+// Calls Install() so the caller just keeps the returned object alive and
+// calls WriteOutputs() before exiting.
+inline ObsFlags ParseObsOnlyFlags(int argc, char** argv) {
+  ObsFlags obs;
+  for (int i = 1; i < argc; ++i) {
+    if (!obs.Match(argc, argv, &i)) {
+      FlagError(argv[i],
+                "is not recognized (supported: --trace-out PATH, "
+                "--metrics-out PATH)");
+    }
+  }
+  obs.Install();
+  return obs;
 }
 
 struct EngineResult {

@@ -13,12 +13,14 @@
 #include <set>
 
 #include "src/common/check.h"
+#include "bench/bench_util.h"
 #include "src/core/compose.h"
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
 #include "src/workload/devices_parts.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idivm::bench::ObsFlags obs = idivm::bench::ParseObsOnlyFlags(argc, argv);
   using namespace idivm;
 
   std::printf("\nSection 9 extension: view-assisted insert i-diffs\n\n");
@@ -87,5 +89,6 @@ int main() {
       "\nReading: with assistance the base table is never touched for "
       "already-derived parts; probes hit the cache instead (dynamic "
       "fallback covers parts not yet in the view).\n");
+  obs.WriteOutputs();
   return 0;
 }

@@ -2,13 +2,20 @@
 
 #include <algorithm>
 
+#include "src/common/str_util.h"
+#include "src/obs/trace.h"
+
 namespace idivm {
 
 ThreadPool::ThreadPool(int threads) {
   const int n = std::max(1, threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Name the worker so trace viewers show "worker-<k>" lanes.
+      obs::TraceRecorder::SetCurrentThreadName(StrCat("worker-", i));
+      WorkerLoop();
+    });
   }
 }
 

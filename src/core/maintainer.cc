@@ -16,6 +16,7 @@
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/expr/analysis.h"
+#include "src/obs/metrics.h"
 
 namespace idivm {
 
@@ -691,20 +692,37 @@ Status Maintainer::TryMaintain(
   MaintainResult result;
   EpochUndo undo;
 
-  // Input diff instances.
-  std::map<std::string, DiffInstance> instances =
-      GenerateDiffInstances(view_, net_changes, *db_);
+  obs::TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : obs::GlobalTrace();
+  const int64_t epoch_start_us = trace != nullptr ? trace->NowMicros() : 0;
+  const int epoch_tid =
+      trace != nullptr ? obs::TraceRecorder::CurrentThreadId() : 0;
 
-  // Pre-state reconstruction, only for tables the script reads in pre-state.
+  // Epoch setup — i-diff instance population and pre-state reconstruction —
+  // runs under its own arena and is traced as a "setup" span, so the
+  // per-span AccessStats deltas of an epoch sum exactly to what the epoch
+  // publishes to the database-wide counters.
+  StatsArena setup_arena;
+  std::map<std::string, DiffInstance> instances;
   std::map<std::string, IndexedRelation> pre_state;
-  for (const std::string& table : pre_state_tables_) {
-    const auto it = net_changes.find(table);
-    if (it == net_changes.end()) continue;  // unchanged: pre == post
-    pre_state.emplace(table, IndexedRelation(ReconstructPreState(
-                                                 db_->GetTable(table),
-                                                 it->second),
-                                             &db_->stats()));
+  {
+    ScopedStatsArena setup_scope(&setup_arena);
+    // Input diff instances.
+    instances = GenerateDiffInstances(view_, net_changes, *db_);
+    // Pre-state reconstruction, only for tables the script reads in
+    // pre-state.
+    for (const std::string& table : pre_state_tables_) {
+      const auto it = net_changes.find(table);
+      if (it == net_changes.end()) continue;  // unchanged: pre == post
+      pre_state.emplace(table, IndexedRelation(ReconstructPreState(
+                                                   db_->GetTable(table),
+                                                   it->second),
+                                               &db_->stats()));
+    }
   }
+  const AccessStats setup_accesses = setup_arena.Sum(&db_->stats());
+  const int64_t setup_end_us = trace != nullptr ? trace->NowMicros() : 0;
+  setup_arena.Publish();
 
   std::map<std::string, Relation> transients;
   // Tables with updates/deletes this round: view-assisted probes must not
@@ -738,6 +756,15 @@ Status Maintainer::TryMaintain(
     StatsArena arena;
     double seconds = 0;
     ApplyResult applied;
+    // Trace capture (filled only when tracing is on). start/end are on the
+    // recorder's clock so the apply sub-window nests exactly.
+    int tid = 0;
+    int64_t start_us = 0;
+    int64_t end_us = 0;
+    int64_t apply_start_us = 0;
+    int64_t apply_end_us = 0;
+    AccessStats apply_accesses;
+    bool has_apply = false;
   };
   std::vector<StepRun> runs(n);
   std::vector<StepAccess> access(n);
@@ -758,6 +785,10 @@ Status Maintainer::TryMaintain(
     const ScriptStep& step = steps[i];
     StepRun& run = runs[i];
     ScopedStatsArena scope(&run.arena);
+    if (trace != nullptr) {
+      run.start_us = trace->NowMicros();
+      run.tid = obs::TraceRecorder::CurrentThreadId();
+    }
     const auto t0 = std::chrono::steady_clock::now();
     Status status = [&]() -> Status {
       if (options.fault != nullptr) {
@@ -803,8 +834,18 @@ Status Maintainer::TryMaintain(
         const bool capture =
             !as.returning_pre.empty() || !as.returning_post.empty();
         ReturningImages images(target.schema());
+        AccessStats apply_before;
+        if (trace != nullptr) {
+          apply_before = run.arena.Sum(&db_->stats());
+          run.apply_start_us = trace->NowMicros();
+        }
         IDIVM_RETURN_IF_ERROR(TryApplyDiff(
             inst, target, &run.applied, capture ? &images : nullptr, &undo));
+        if (trace != nullptr) {
+          run.apply_end_us = trace->NowMicros();
+          run.apply_accesses = run.arena.Sum(&db_->stats()) - apply_before;
+          run.has_apply = true;
+        }
         if (capture) {
           outputs->emplace_back(as.returning_pre,
                                 std::move(images.pre_images));
@@ -829,6 +870,7 @@ Status Maintainer::TryMaintain(
     }();
     const auto t1 = std::chrono::steady_clock::now();
     run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (trace != nullptr) run.end_us = trace->NowMicros();
     return status;
   };
 
@@ -929,6 +971,21 @@ Status Maintainer::TryMaintain(
     // ViewManager's degradation ladder records it single-threaded, so
     // concurrent per-view failures never race on the shared counters.
     undo.RollBack();
+    obs::GlobalCounter("idivm_epoch_failures_total").Increment();
+    if (trace != nullptr) {
+      // The failed epoch published nothing, so its span carries no
+      // AccessStats; per-rule spans are dropped for the same reason.
+      obs::TraceSpan span;
+      span.name = StrCat("epoch ", view_.view_name);
+      span.category = "epoch";
+      span.tid = epoch_tid;
+      span.start_us = epoch_start_us;
+      span.dur_us = trace->NowMicros() - epoch_start_us;
+      span.args.emplace_back("failed", 1);
+      span.args.emplace_back("status_code",
+                             static_cast<int64_t>(epoch_status.code()));
+      trace->Record(std::move(span));
+    }
     return epoch_status;
   }
   undo.Clear();
@@ -937,15 +994,47 @@ Status Maintainer::TryMaintain(
   // sinks, all on this thread in script order — identical to the sequential
   // totals whatever the execution interleaving was.
   // Set IDIVM_TRACE_STEPS=1 to print per-step access costs (debugging).
-  static const bool trace = std::getenv("IDIVM_TRACE_STEPS") != nullptr;
+  static const bool trace_env = std::getenv("IDIVM_TRACE_STEPS") != nullptr;
+  AccessStats epoch_accesses = setup_accesses;
   for (size_t i = 0; i < n; ++i) {
     PhaseCost cost;
     cost.accesses = runs[i].arena.Sum(&db_->stats());
     cost.seconds = runs[i].seconds;
-    if (trace) {
+    if (trace_env) {
       std::fprintf(stderr, "[step %zu] %-40s %s\n", i,
                    access[i].label.c_str(),
                    cost.accesses.ToString().c_str());
+    }
+    epoch_accesses += cost.accesses;
+    obs::GlobalCounter(
+        obs::RuleAccessCounterName(view_.view_name, access[i].label))
+        .Increment(cost.accesses.TotalAccesses());
+    if (trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = access[i].label;
+      span.category = "rule";
+      span.tid = runs[i].tid;
+      span.start_us = runs[i].start_us;
+      span.dur_us = runs[i].end_us - runs[i].start_us;
+      span.accesses = cost.accesses;
+      span.args.emplace_back("step", static_cast<int64_t>(i));
+      if (runs[i].has_apply) {
+        span.args.emplace_back("diff_tuples", runs[i].applied.diff_tuples);
+        span.args.emplace_back("rows_touched", runs[i].applied.rows_touched);
+        span.args.emplace_back("dummy_tuples", runs[i].applied.dummy_tuples);
+        // The nested APPLY span: just the DML window inside the rule span,
+        // with the arena delta it charged to the database-wide counter.
+        obs::TraceSpan apply_span;
+        apply_span.name = StrCat("APPLY ", steps[i].apply->target_table);
+        apply_span.category = "apply";
+        apply_span.tid = runs[i].tid;
+        apply_span.start_us = runs[i].apply_start_us;
+        apply_span.dur_us = runs[i].apply_end_us - runs[i].apply_start_us;
+        apply_span.accesses = runs[i].apply_accesses;
+        apply_span.args.emplace_back("step", static_cast<int64_t>(i));
+        trace->Record(std::move(apply_span));
+      }
+      trace->Record(std::move(span));
     }
     runs[i].arena.Publish();
     result.diff_tuples_applied += runs[i].applied.diff_tuples;
@@ -962,6 +1051,34 @@ Status Maintainer::TryMaintain(
         result.view_update += cost;
         break;
     }
+  }
+  obs::GlobalCounter("idivm_epochs_total").Increment();
+  obs::GlobalHistogram("idivm_epoch_seconds").Observe(result.TotalSeconds());
+  obs::GlobalHistogram("idivm_epoch_accesses")
+      .Observe(static_cast<double>(epoch_accesses.TotalAccesses()));
+  if (trace != nullptr) {
+    obs::TraceSpan setup_span;
+    setup_span.name = StrCat("setup ", view_.view_name);
+    setup_span.category = "setup";
+    setup_span.tid = epoch_tid;
+    setup_span.start_us = epoch_start_us;
+    setup_span.dur_us = setup_end_us - epoch_start_us;
+    setup_span.accesses = setup_accesses;
+    trace->Record(std::move(setup_span));
+
+    obs::TraceSpan span;
+    span.name = StrCat("epoch ", view_.view_name);
+    span.category = "epoch";
+    span.tid = epoch_tid;
+    span.start_us = epoch_start_us;
+    span.dur_us = trace->NowMicros() - epoch_start_us;
+    span.accesses = epoch_accesses;
+    span.args.emplace_back("steps", static_cast<int64_t>(n));
+    span.args.emplace_back("threads", options.threads);
+    span.args.emplace_back("diff_tuples", result.diff_tuples_applied);
+    span.args.emplace_back("rows_touched", result.rows_touched);
+    span.args.emplace_back("dummy_tuples", result.dummy_tuples);
+    trace->Record(std::move(span));
   }
   *out = std::move(result);
   return OkStatus();

@@ -23,6 +23,7 @@
 #include "src/core/compose.h"
 #include "src/core/modification_log.h"
 #include "src/diff/apply.h"
+#include "src/obs/trace.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
 #include "src/storage/database.h"
@@ -52,6 +53,13 @@ struct MaintainOptions {
   // stored-table rows fails with kResourceExhausted (and rolls back).
   // 0 = unlimited.
   int64_t max_epoch_ops = 0;
+  // Span recorder for this epoch (docs/OBSERVABILITY.md). nullptr falls
+  // back to obs::GlobalTrace(); tracing is off when both are null. A
+  // committed epoch records one "epoch" span, one "setup" span and one
+  // "rule" span per ∆-script step (APPLY steps get a nested "apply" span),
+  // each carrying its exact AccessStats delta; a failed epoch records only
+  // the "epoch" span, marked failed=1, since its charges rolled back.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct MaintainResult {

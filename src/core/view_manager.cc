@@ -8,6 +8,7 @@
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/core/script_io.h"
+#include "src/obs/metrics.h"
 
 namespace idivm {
 
@@ -227,6 +228,12 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
   logger_.Clear();
   if (net.empty()) return OkStatus();
 
+  obs::TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : obs::GlobalTrace();
+  const int64_t refresh_start_us = trace != nullptr ? trace->NowMicros() : 0;
+  const AccessStats refresh_before = db_->stats();
+  obs::GlobalCounter("idivm_refreshes_total").Increment();
+
   // Views in service this round, definition order.
   std::vector<size_t> active;
   for (size_t i = 0; i < views_.size(); ++i) {
@@ -239,6 +246,7 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
   mopts.threads = options.script_threads;
   mopts.fault = options.fault;
   mopts.max_epoch_ops = options.max_epoch_ops;
+  mopts.trace = options.trace;
 
   struct ViewRun {
     MaintainResult result;
@@ -316,7 +324,11 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
     incident.view = name;
     incident.error = run.first_error;
     stats.epoch_rollbacks += run.rollbacks;
-    if (run.retried) stats.degraded_retries += 1;
+    obs::GlobalCounter("idivm_epoch_rollbacks_total").Increment(run.rollbacks);
+    if (run.retried) {
+      stats.degraded_retries += 1;
+      obs::GlobalCounter("idivm_ladder_retries_total").Increment();
+    }
     if (run.serviceable) {
       incident.rung = 1;
       incident.recovered = true;
@@ -336,7 +348,25 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
     // on its post-refresh contents.
     incident.rung = 2;
     stats.recompute_fallbacks += 1;
+    obs::GlobalCounter("idivm_ladder_recomputes_total").Increment();
+    // Safe to diff the shared counters directly: rung 2 runs single-threaded
+    // after every view's epoch has finished and published.
+    const AccessStats recompute_before = db_->stats();
+    const int64_t recompute_start_us =
+        trace != nullptr ? trace->NowMicros() : 0;
     const Status recomputed = TryRecomputeView(vi, options.fault);
+    if (trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = StrCat("recompute ", name);
+      span.category = "ladder";
+      span.tid = obs::TraceRecorder::CurrentThreadId();
+      span.start_us = recompute_start_us;
+      span.dur_us = trace->NowMicros() - recompute_start_us;
+      span.accesses = db_->stats() - recompute_before;
+      span.args.emplace_back("rung", 2);
+      span.args.emplace_back("recovered", recomputed.ok() ? 1 : 0);
+      trace->Record(std::move(span));
+    }
     if (recomputed.ok()) {
       incident.recovered = true;
       report->results.emplace(name, MaintainResult());
@@ -352,11 +382,35 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
     // materialized state of this view is stale from here on.
     incident.rung = 3;
     stats.quarantines += 1;
+    obs::GlobalCounter("idivm_ladder_quarantines_total").Increment();
+    if (trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = StrCat("quarantine ", name);
+      span.category = "ladder";
+      span.tid = obs::TraceRecorder::CurrentThreadId();
+      span.start_us = trace->NowMicros();
+      span.dur_us = 0;
+      span.args.emplace_back("rung", 3);
+      trace->Record(std::move(span));
+    }
     quarantined_.insert(name);
     if (logger_.journal() != nullptr) {
       logger_.journal()->JournalQuarantine(name, run.first_error.ToString());
     }
     report->incidents.push_back(std::move(incident));
+  }
+  if (trace != nullptr) {
+    obs::TraceSpan span;
+    span.name = "refresh";
+    span.category = "refresh";
+    span.tid = obs::TraceRecorder::CurrentThreadId();
+    span.start_us = refresh_start_us;
+    span.dur_us = trace->NowMicros() - refresh_start_us;
+    span.accesses = db_->stats() - refresh_before;
+    span.args.emplace_back("views", static_cast<int64_t>(n));
+    span.args.emplace_back("incidents",
+                           static_cast<int64_t>(report->incidents.size()));
+    trace->Record(std::move(span));
   }
   return refresh_status;
 }

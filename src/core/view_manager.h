@@ -7,6 +7,14 @@
 //   - eager IVM: every logged modification triggers maintenance of all
 //     views immediately (the architecture is identical; the log always
 //     holds exactly one modification when the scripts run).
+//
+// Two refresh entry points. TryRefresh is the fault-isolated path: every
+// view maintains inside an atomic, roll-backable epoch (src/robust/epoch.h)
+// and a failed epoch walks the degradation ladder (DegradePolicy below) —
+// retry single-threaded, recompute from base tables, quarantine — instead
+// of taking the process down. Refresh is a thin IDIVM_CHECK wrapper over
+// TryRefresh that keeps the original abort-on-error semantics for callers
+// with nothing to recover to.
 
 #ifndef IDIVM_CORE_VIEW_MANAGER_H_
 #define IDIVM_CORE_VIEW_MANAGER_H_
@@ -61,6 +69,11 @@ struct RefreshOptions {
   FaultInjector* fault = nullptr;
   // Per-epoch stored-row mutation budget (MaintainOptions::max_epoch_ops).
   int64_t max_epoch_ops = 0;
+  // Span recorder threaded through to every epoch (MaintainOptions::trace);
+  // the refresh itself records a "refresh" span and the ladder records
+  // "ladder" spans for recompute/quarantine rungs. nullptr falls back to
+  // obs::GlobalTrace().
+  obs::TraceRecorder* trace = nullptr;
 };
 
 // One view's trip down the degradation ladder during a TryRefresh.

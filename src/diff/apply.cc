@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/common/str_util.h"
 #include "src/expr/expr.h"
+#include "src/obs/metrics.h"
 
 namespace idivm {
 
@@ -193,15 +194,28 @@ Status TryApplyDelete(const DiffInstance& diff, Table& target,
 
 Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
                     ReturningImages* returning, EpochUndo* undo) {
+  const ApplyResult before = *out;
+  Status status;
   switch (diff.schema().type()) {
     case DiffType::kUpdate:
-      return TryApplyUpdate(diff, target, out, returning, undo);
+      status = TryApplyUpdate(diff, target, out, returning, undo);
+      break;
     case DiffType::kInsert:
-      return TryApplyInsert(diff, target, out, returning, undo);
+      status = TryApplyInsert(diff, target, out, returning, undo);
+      break;
     case DiffType::kDelete:
-      return TryApplyDelete(diff, target, out, returning, undo);
+      status = TryApplyDelete(diff, target, out, returning, undo);
+      break;
   }
-  IDIVM_UNREACHABLE("bad DiffType");
+  // Metrics count attempted apply work; a later epoch rollback does not
+  // subtract it (docs/OBSERVABILITY.md).
+  obs::GlobalCounter("idivm_apply_diff_tuples_total")
+      .Increment(out->diff_tuples - before.diff_tuples);
+  obs::GlobalCounter("idivm_apply_rows_touched_total")
+      .Increment(out->rows_touched - before.rows_touched);
+  obs::GlobalCounter("idivm_apply_dummy_tuples_total")
+      .Increment(out->dummy_tuples - before.dummy_tuples);
+  return status;
 }
 
 ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,

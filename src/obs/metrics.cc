@@ -1,0 +1,153 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "src/common/str_util.h"
+
+namespace idivm::obs {
+
+void Histogram::Observe(double value) {
+  if (value < 0) value = 0;
+  int bucket = 0;
+  double bound = 1.0;
+  while (bucket < kBuckets && value > bound) {
+    bound *= 4.0;
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
+                        std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+int64_t Histogram::CumulativeCount(int bucket) const {
+  int64_t total = 0;
+  for (int i = 0; i <= bucket && i <= kBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::BucketBound(int i) {
+  double bound = 1.0;
+  for (int k = 0; k < i; ++k) bound *= 4.0;
+  return bound;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One line per metric, sorted by metric name across both kinds.
+  std::vector<std::pair<std::string, std::string>> lines;
+  lines.reserve(counters_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    lines.emplace_back(name,
+                       StrCat("counter ", name, " ", counter->value(), "\n"));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    char sum_text[64];
+    std::snprintf(sum_text, sizeof(sum_text), "%.6f", histogram->sum());
+    std::string line = StrCat("histogram ", name, " count ",
+                              histogram->count(), " sum ", sum_text);
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      const std::string bound =
+          i == Histogram::kBuckets
+              ? "inf"
+              : StrCat("le", static_cast<int64_t>(Histogram::BucketBound(i)));
+      line += StrCat(" ", bound, " ", histogram->CumulativeCount(i));
+    }
+    line += "\n";
+    lines.emplace_back(name, std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out = StrCat("# idivm-metrics ", kMetricsContractVersion, "\n");
+  for (const auto& [name, line] : lines) out += line;
+  return out;
+}
+
+bool MetricsRegistry::WriteText(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = ExportText();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool ok = written == text.size() && std::fclose(file) == 0;
+  if (!ok && written == text.size()) return false;  // fclose failed
+  return ok;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& GlobalCounter(const std::string& name) {
+  return MetricsRegistry::Global().counter(name);
+}
+
+Histogram& GlobalHistogram(const std::string& name) {
+  return MetricsRegistry::Global().histogram(name);
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RuleAccessCounterName(const std::string& view,
+                                  const std::string& rule) {
+  return StrCat("idivm_rule_accesses_total{view=\"", EscapeLabelValue(view),
+                "\",rule=\"", EscapeLabelValue(rule), "\"}");
+}
+
+}  // namespace idivm::obs

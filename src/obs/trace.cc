@@ -1,0 +1,161 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+
+#include "src/common/str_util.h"
+
+namespace idivm::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_global_trace{nullptr};
+
+std::atomic<int> g_next_thread_id{0};
+
+// Names are kept process-global (not per recorder): a thread keeps its
+// name across recorders, and the map is tiny (one entry per thread ever
+// named).
+std::mutex g_thread_names_mutex;
+std::map<int, std::string>& ThreadNames() {
+  static std::map<int, std::string>* names = new std::map<int, std::string>();
+  return *names;
+}
+
+void AppendArg(std::string* out, bool* first, const std::string& key,
+               int64_t value) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += StrCat("\"", EscapeJson(key), "\":", value);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first_event = true;
+  {
+    std::lock_guard<std::mutex> lock(g_thread_names_mutex);
+    for (const auto& [tid, name] : ThreadNames()) {
+      if (!first_event) out += ",";
+      first_event = false;
+      out += StrCat(
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":", tid,
+          ",\"args\":{\"name\":\"", EscapeJson(name), "\"}}");
+    }
+  }
+  for (const TraceSpan& span : spans) {
+    if (!first_event) out += ",";
+    first_event = false;
+    out += StrCat("{\"name\":\"", EscapeJson(span.name), "\",\"cat\":\"",
+                  EscapeJson(span.category), "\",\"ph\":\"X\",\"ts\":",
+                  span.start_us, ",\"dur\":", span.dur_us,
+                  ",\"pid\":1,\"tid\":", span.tid, ",\"args\":{");
+    bool first_arg = true;
+    AppendArg(&out, &first_arg, "index_lookups", span.accesses.index_lookups);
+    AppendArg(&out, &first_arg, "tuple_reads", span.accesses.tuple_reads);
+    AppendArg(&out, &first_arg, "tuple_writes", span.accesses.tuple_writes);
+    AppendArg(&out, &first_arg, "total_accesses",
+              span.accesses.TotalAccesses());
+    for (const auto& [key, value] : span.args) {
+      AppendArg(&out, &first_arg, key, value);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = ToChromeTraceJson();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  return written == text.size() && std::fclose(file) == 0;
+}
+
+int TraceRecorder::CurrentThreadId() {
+  thread_local const int id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceRecorder::SetCurrentThreadName(const std::string& name) {
+  const int tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(g_thread_names_mutex);
+  ThreadNames()[tid] = name;
+}
+
+TraceRecorder* GlobalTrace() {
+  return g_global_trace.load(std::memory_order_acquire);
+}
+
+void SetGlobalTrace(TraceRecorder* recorder) {
+  g_global_trace.store(recorder, std::memory_order_release);
+}
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace idivm::obs

@@ -1,0 +1,107 @@
+// Maintenance observability, half 2: span tracing. A TraceRecorder captures
+// one completed span per unit of maintenance work — refresh → epoch → rule →
+// APPLY (docs/OBSERVABILITY.md, "Span hierarchy") — with the recording
+// thread, wall-clock interval, the AccessStats delta the span charged to
+// the database-wide counters (captured from the executor's deferred-charging
+// StatsArena, so attribution is exact), and free-form integer args.
+//
+// Tracing is opt-in and zero-cost when off: the maintenance path checks one
+// pointer (MaintainOptions::trace, falling back to the process-global
+// recorder) and records nothing when it is null. When on, each span costs
+// one short critical section at completion — spans are recorded only after
+// the work they cover, never on the inner per-tuple path.
+//
+// The recorder exports Chrome trace_event JSON ("X" complete events), the
+// format chrome://tracing and https://ui.perfetto.dev load directly.
+
+#ifndef IDIVM_OBS_TRACE_H_
+#define IDIVM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/storage/access_stats.h"
+
+namespace idivm::obs {
+
+// One completed span. `start_us`/`dur_us` are microseconds on the
+// recorder's own steady clock (origin = recorder creation), so spans from
+// different threads share one timeline.
+struct TraceSpan {
+  std::string name;      // e.g. "epoch q7", "apply d3 -> v"
+  std::string category;  // "refresh" | "epoch" | "setup" | "rule" | "apply"
+                         // | "ladder"
+  int tid = 0;           // stable small id of the recording thread
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  // The AccessStats delta this span charged to the database-wide counter
+  // (exact: captured from the span's StatsArena before publication).
+  AccessStats accesses;
+  // Extra integer args, emitted verbatim into the JSON "args" object.
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Appends one completed span. Thread-safe.
+  void Record(TraceSpan span);
+
+  // Microseconds since this recorder was created (steady clock).
+  int64_t NowMicros() const;
+
+  // Copy of every span recorded so far, in recording order.
+  std::vector<TraceSpan> Snapshot() const;
+
+  // Spans recorded so far.
+  size_t size() const;
+
+  // Drops all recorded spans (benches call this after warmup).
+  void Clear();
+
+  // The full trace as Chrome trace_event JSON: thread-name metadata events
+  // followed by one "ph":"X" complete event per span, each carrying the
+  // span's AccessStats and args. Loadable in chrome://tracing / Perfetto.
+  std::string ToChromeTraceJson() const;
+
+  // Writes ToChromeTraceJson to `path`. Returns false on I/O error.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // A process-stable small id for the calling thread (dense from 0, in
+  // first-use order). Used as the trace "tid".
+  static int CurrentThreadId();
+
+  // Names the calling thread in trace output (thread_name metadata event).
+  // The thread-pool workers self-register as "worker-<k>"; the thread that
+  // creates the recorder is "main" by default.
+  static void SetCurrentThreadName(const std::string& name);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+// The process-global recorder, or nullptr when tracing is off (default).
+// Maintenance code reads it once per epoch; benches install one for the
+// measured region when --trace-out is given.
+TraceRecorder* GlobalTrace();
+
+// Installs (or, with nullptr, uninstalls) the process-global recorder.
+// Not thread-safe against in-flight maintenance: install before starting
+// work, uninstall after it drains.
+void SetGlobalTrace(TraceRecorder* recorder);
+
+// JSON string escaping for span names ('"', '\', control characters).
+std::string EscapeJson(const std::string& text);
+
+}  // namespace idivm::obs
+
+#endif  // IDIVM_OBS_TRACE_H_

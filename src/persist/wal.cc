@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/common/str_util.h"
+#include "src/obs/metrics.h"
 #include "src/persist/codec.h"
 
 namespace idivm::persist {
@@ -168,6 +169,10 @@ WalWriter::~WalWriter() {
 uint64_t WalWriter::AppendRecord(const WalRecord& record) {
   AppendFrame(EncodeRecord(record), &buffer_);
   ++records_since_sync_;
+  obs::GlobalCounter("idivm_wal_records_total").Increment();
+  if (record.type == WalRecordType::kCommit) {
+    obs::GlobalCounter("idivm_wal_commits_total").Increment();
+  }
   MaybeSync(record.type);
   return record.lsn;
 }
@@ -257,6 +262,7 @@ void WalWriter::Sync() {
   Flush();
   ::fsync(fd_);
   records_since_sync_ = 0;
+  obs::GlobalCounter("idivm_wal_syncs_total").Increment();
 }
 
 WalReadResult ReadWal(const std::string& path) {

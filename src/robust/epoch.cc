@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/str_util.h"
+#include "src/obs/metrics.h"
 
 namespace idivm {
 
@@ -19,6 +20,8 @@ size_t EpochUndo::size() const {
 
 void EpochUndo::RollBack() {
   std::lock_guard<std::mutex> lock(mutex_);
+  obs::GlobalCounter("idivm_epoch_rollback_entries_total")
+      .Increment(static_cast<int64_t>(entries_.size()));
   // The failed epoch must vanish from the cost model too: divert every
   // charge the undo writes would make into an arena that is dropped.
   StatsArena discard;

@@ -5,9 +5,13 @@
 // *Externally reachable* failures — a corrupt ∆-script loaded from a
 // repository dump, a non-effective diff produced by divergent state, an
 // exhausted epoch budget, an injected fault — must not take the process
-// down: they travel as a Status through Maintainer, ViewManager::Refresh
-// and diff application, where the degradation ladder (view_manager.h) can
-// retry, recompute, or quarantine instead of aborting.
+// down: they travel as a Status through Maintainer::TryMaintain,
+// TryApplyDiff (src/diff/apply.h) and ViewManager::TryRefresh, where the
+// degradation ladder (view_manager.h) can retry, recompute, or quarantine
+// instead of aborting. The infallible Maintain / ApplyDiff / Refresh
+// entry points remain as thin IDIVM_CHECK wrappers over the Try*
+// variants, preserving abort-on-error semantics for callers that have
+// nothing to recover to.
 
 #ifndef IDIVM_ROBUST_STATUS_H_
 #define IDIVM_ROBUST_STATUS_H_

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Documentation lint for CI (the docs-check job).
+
+Two checks, both against working-tree files only (no network):
+
+1. Intra-repo markdown links. Every relative link target in a tracked
+   *.md file must exist on disk. External schemes (http/https/mailto) and
+   pure in-page anchors are skipped; a target's own "#anchor" suffix is
+   stripped before the existence check.
+
+2. Public observability headers. Every header under src/obs/ must open
+   with a file-top comment block and carry a comment directly above each
+   namespace-scope class/struct definition — these headers are the
+   documented surface of docs/OBSERVABILITY.md, so an undocumented type
+   is a contract gap, not a style nit.
+
+Exits non-zero listing every violation; prints nothing else on success.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — good enough for the hand-written markdown in this repo;
+# images (![alt](target)) match too via the optional bang.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def tracked_files(suffix):
+    out = subprocess.run(
+        ["git", "ls-files", f"*{suffix}"],
+        cwd=REPO, capture_output=True, text=True, check=True)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def strip_code(text):
+    """Removes fenced and inline code spans so example links are ignored."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_links():
+    errors = []
+    for md in tracked_files(".md"):
+        path = os.path.join(REPO, md)
+        with open(path, encoding="utf-8") as f:
+            text = strip_code(f.read())
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:
+                continue
+            base = REPO if resolved.startswith("/") else os.path.dirname(path)
+            full = os.path.normpath(os.path.join(base, resolved.lstrip("/")))
+            if not full.startswith(REPO + os.sep) and full != REPO:
+                # Escapes the repo (GitHub's ../../actions badge idiom):
+                # a URL path on github.com, not a checkable file.
+                continue
+            if not os.path.exists(full):
+                errors.append(f"{md}: broken link -> {target}")
+    return errors
+
+
+DECL_RE = re.compile(r"^(?:class|struct)\s+(\w+)\s*(?::[^;]*)?\{")
+
+
+def check_obs_headers():
+    errors = []
+    for header in tracked_files(".h"):
+        if not header.startswith("src/obs/"):
+            continue
+        with open(os.path.join(REPO, header), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        if not lines or not lines[0].lstrip().startswith("//"):
+            errors.append(f"{header}: missing file-top doc comment")
+        for i, line in enumerate(lines):
+            match = DECL_RE.match(line.strip())
+            if not match:
+                continue
+            if line.startswith((" ", "\t")):
+                continue  # nested type: the enclosing type carries the doc
+            prev = lines[i - 1].strip() if i > 0 else ""
+            if not prev.startswith("//"):
+                errors.append(
+                    f"{header}:{i + 1}: {match.group(1)} lacks a doc "
+                    "comment on the preceding line")
+    return errors
+
+
+def main():
+    errors = check_links() + check_obs_headers()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"\ndocs-check: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
