@@ -90,17 +90,13 @@ int RunChaosMode(const idivm::BsmaConfig& config, int64_t updates,
 int main(int argc, char** argv) {
   using namespace idivm;
 
-  int threads = 1;
   int users = 0;  // 0 = BsmaConfig default
   double fault_rate = 0.0;
   DegradePolicy policy = DegradePolicy::kQuarantine;
   int64_t max_epoch_ops = 0;
-  bench::ObsFlags obs;
+  bench::BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (obs.Match(argc, argv, &i)) {
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = bench::ParsePositiveIntFlag(
-          "--threads", bench::FlagValue("--threads", argc, argv, &i));
+    if (flags.Match(argc, argv, &i)) {
     } else if (std::strcmp(argv[i], "--users") == 0) {
       users = bench::ParsePositiveIntFlag(
           "--users", bench::FlagValue("--users", argc, argv, &i));
@@ -124,7 +120,8 @@ int main(int argc, char** argv) {
                        "--metrics-out PATH)");
     }
   }
-  obs.Install();
+  flags.Install();
+  const int threads = flags.threads;
 
   BsmaConfig config;  // defaults: 2000 users, paper table ratios
   if (users > 0) config.users = users;
@@ -133,7 +130,7 @@ int main(int argc, char** argv) {
   if (fault_rate > 0.0 || max_epoch_ops > 0) {
     const int exit_code = RunChaosMode(config, kUpdates, threads, fault_rate,
                                        policy, max_epoch_ops);
-    obs.WriteOutputs();
+    flags.WriteOutputs();
     return exit_code;
   }
 
@@ -187,6 +184,6 @@ int main(int argc, char** argv) {
                 id_acc > 0 ? tuple_acc / id_acc : 0.0,
                 paper.at(view).c_str());
   }
-  obs.WriteOutputs();
+  flags.WriteOutputs();
   return 0;
 }

@@ -20,20 +20,16 @@ int main(int argc, char** argv) {
   using namespace idivm;
   using namespace idivm::bench;
 
-  int threads = 1;
-  ObsFlags obs;
+  BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (obs.Match(argc, argv, &i)) {
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = ParsePositiveIntFlag(
-          "--threads", FlagValue("--threads", argc, argv, &i));
-    } else {
+    if (!flags.Match(argc, argv, &i)) {
       FlagError(argv[i],
                 "is not recognized (supported: --threads N, --trace-out PATH, "
                 "--metrics-out PATH)");
     }
   }
-  obs.Install();
+  flags.Install();
+  const int threads = flags.threads;
 
   std::printf("\nSection 6.2(b): insert-heavy workloads (aggregate view, "
               "200 modifications total)\n\n");
@@ -135,6 +131,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(par_acc),
               par_seconds > 0 ? seq_seconds / par_seconds : 0.0,
               seq_acc == par_acc ? "identical" : "MISMATCH");
-  obs.WriteOutputs();
+  flags.WriteOutputs();
   return seq_acc == par_acc ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,12 +36,11 @@ int main(int argc, char** argv) {
   int users = 300;
   int mods = 1000;
   int commit_every = 100;
-  int threads = 1;
   WalOptions wal_options;
   std::string wal_dir;
-  ObsFlags obs;
+  BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (obs.Match(argc, argv, &i)) {
+    if (flags.Match(argc, argv, &i)) {
     } else if (std::strcmp(argv[i], "--users") == 0) {
       users = ParsePositiveIntFlag("--users",
                                    FlagValue("--users", argc, argv, &i));
@@ -50,9 +50,6 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--commit-every") == 0) {
       commit_every = ParsePositiveIntFlag(
           "--commit-every", FlagValue("--commit-every", argc, argv, &i));
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = ParsePositiveIntFlag("--threads",
-                                     FlagValue("--threads", argc, argv, &i));
     } else if (std::strcmp(argv[i], "--sync") == 0) {
       const char* text = FlagValue("--sync", argc, argv, &i);
       if (!ParseWalSyncPolicy(text, &wal_options.sync)) {
@@ -70,14 +67,14 @@ int main(int argc, char** argv) {
                 "--metrics-out)");
     }
   }
-  obs.Install();
+  flags.Install();
+  const int threads = flags.threads;
+  // Without an explicit --wal-dir, scratch space is RAII-owned: every exit
+  // path below (including the non-zero smoke failures) removes it.
+  std::optional<ScratchDir> scratch;
   if (wal_dir.empty()) {
-    char pattern[] = "/tmp/idivm-bench-recovery-XXXXXX";
-    if (mkdtemp(pattern) == nullptr) {
-      std::fprintf(stderr, "error: cannot create temp dir\n");
-      return 1;
-    }
-    wal_dir = pattern;
+    scratch.emplace("bench-recovery");
+    wal_dir = scratch->path();
   } else {
     struct stat st{};
     if (stat(wal_dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
@@ -177,7 +174,7 @@ int main(int argc, char** argv) {
                         std::max<int64_t>(replay.accesses.TotalAccesses(), 1)),
                 match ? "yes" : "NO");
   }
-  obs.WriteOutputs();
+  flags.WriteOutputs();
   if (!all_match) {
     std::fprintf(stderr, "\nFAIL: replayed state diverges from recompute\n");
     return 1;

@@ -6,9 +6,12 @@
 #ifndef IDIVM_BENCH_BENCH_UTIL_H_
 #define IDIVM_BENCH_BENCH_UTIL_H_
 
+#include <ftw.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -126,6 +129,48 @@ inline bool MatchStringFlag(const char* flag, int argc, char** argv, int* i,
   return false;
 }
 
+// ---- Scratch directories -------------------------------------------------
+
+// An RAII mkdtemp directory under /tmp: created in the constructor, removed
+// (recursively) in the destructor, so early exits — FlagError, a failed
+// smoke check returning 1 — no longer leak bench scratch state. Benches
+// that accept an explicit --wal-dir style flag skip constructing one.
+class ScratchDir {
+ public:
+  // `tag` names the bench in the path: /tmp/idivm-<tag>-XXXXXX.
+  explicit ScratchDir(const std::string& tag) {
+    std::string pattern = "/tmp/idivm-" + tag + "-XXXXXX";
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "error: cannot create scratch dir %s\n",
+                   pattern.c_str());
+      std::exit(1);
+    }
+    path_ = buf.data();
+  }
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  ~ScratchDir() {
+    if (path_.empty()) return;
+    // Depth-first so files go before their directory; FTW_PHYS keeps the
+    // walk inside the scratch tree even if a test dropped a symlink in it.
+    nftw(path_.c_str(), RemoveEntry, 16, FTW_DEPTH | FTW_PHYS);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static int RemoveEntry(const char* path, const struct stat* /*st*/,
+                         int /*type*/, struct FTW* /*ftw*/) {
+    return std::remove(path);
+  }
+
+  std::string path_;
+};
+
 class ObsFlags {
  public:
   // Consumes --trace-out / --metrics-out at argv[*i]; returns false for
@@ -171,6 +216,57 @@ class ObsFlags {
   std::string trace_out_;
   std::string metrics_out_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+// ---- Shared bench flags --------------------------------------------------
+// The flags every bench re-declared by hand: --threads N (∆-script / replay
+// workers), optionally --readers N (concurrent snapshot readers), and the
+// observability pair. A bench's flag loop delegates to Match() first and
+// handles only its own flags; unrecognized flags still fail loudly in the
+// bench's own error message.
+
+class BenchFlags {
+ public:
+  // `with_readers` enables --readers (only the concurrent-read bench has
+  // reader threads; elsewhere the flag stays unrecognized).
+  explicit BenchFlags(bool with_readers = false)
+      : with_readers_(with_readers) {}
+
+  // Consumes --threads / --readers / --trace-out / --metrics-out at
+  // argv[*i]; returns false for any other flag.
+  bool Match(int argc, char** argv, int* i) {
+    if (obs_.Match(argc, argv, i)) return true;
+    if (std::strcmp(argv[*i], "--threads") == 0) {
+      threads = ParsePositiveIntFlag("--threads",
+                                     FlagValue("--threads", argc, argv, i));
+      return true;
+    }
+    if (with_readers_ && std::strcmp(argv[*i], "--readers") == 0) {
+      readers = ParsePositiveIntFlag("--readers",
+                                     FlagValue("--readers", argc, argv, i));
+      return true;
+    }
+    return false;
+  }
+
+  // The flags Match() accepts, for the bench's "not recognized" message.
+  const char* Supported() const {
+    return with_readers_ ? "--threads N, --readers N, --trace-out PATH, "
+                           "--metrics-out PATH"
+                         : "--threads N, --trace-out PATH, --metrics-out PATH";
+  }
+
+  // Call once after flag parsing (installs the global trace recorder when
+  // --trace-out was given); WriteOutputs before every successful exit.
+  void Install() { obs_.Install(); }
+  void WriteOutputs() { obs_.WriteOutputs(); }
+
+  int threads = 1;
+  int readers = 4;
+
+ private:
+  bool with_readers_;
+  ObsFlags obs_;
 };
 
 // Flag loop for benches whose only flags are the observability ones.

@@ -988,7 +988,14 @@ Status Maintainer::TryMaintain(
     }
     return epoch_status;
   }
-  undo.Clear();
+  // Committed: the undo log either vanishes, or — in snapshot-read mode —
+  // moves to the caller as the epoch's redo delta (it is the exact list of
+  // stored-row changes, in per-table program order).
+  if (options.redo != nullptr) {
+    undo.MoveEntriesTo(options.redo);
+  } else {
+    undo.Clear();
+  }
 
   // Merge: phase attribution, apply counters and the shared AccessStats
   // sinks, all on this thread in script order — identical to the sequential

@@ -24,6 +24,7 @@
 #include "src/core/modification_log.h"
 #include "src/diff/apply.h"
 #include "src/obs/trace.h"
+#include "src/robust/epoch.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
 #include "src/storage/database.h"
@@ -60,6 +61,13 @@ struct MaintainOptions {
   // each carrying its exact AccessStats delta; a failed epoch records only
   // the "epoch" span, marked failed=1, since its charges rolled back.
   obs::TraceRecorder* trace = nullptr;
+  // When set, a *committed* epoch moves its undo log here instead of
+  // discarding it: the same (Table*, Modification) records, in per-table
+  // program order, now read forward as the epoch's redo delta. ViewManager
+  // uses this in snapshot-read mode to derive the next MVCC table versions
+  // (src/mvcc) from exactly what the epoch changed. A failed epoch still
+  // rolls back and leaves `redo` untouched.
+  EpochUndo* redo = nullptr;
 };
 
 struct MaintainResult {

@@ -45,6 +45,7 @@ Maintainer& ViewManager::DefineView(const std::string& name,
   IDIVM_CHECK(!HasView(name), StrCat("view already defined: ", name));
   views_.emplace_back(name, std::make_unique<Maintainer>(
                                 db_, CompileView(name, plan, *db_, options)));
+  if (registry_ != nullptr) registry_->Track(db_->GetTable(name));
   return *views_.back().second;
 }
 
@@ -78,6 +79,9 @@ void ViewManager::DropView(const std::string& name) {
     db_->DropTable(name);
     views_.erase(it);
     quarantined_.erase(name);
+    // Snapshots already holding the dropped view's versions keep them
+    // until released; new snapshots no longer contain it.
+    if (registry_ != nullptr) registry_->Untrack(name);
     return;
   }
   IDIVM_UNREACHABLE(StrCat("no such view: ", name));
@@ -99,6 +103,12 @@ void ViewManager::RecomputeAllViews() {
   }
   // Rematerializing everything is also the repair of last resort.
   quarantined_.clear();
+  // The live Table objects were rebuilt; republish each from contents.
+  if (registry_ != nullptr) {
+    for (const auto& [name, maintainer] : views_) {
+      registry_->Track(db_->GetTable(name));
+    }
+  }
 }
 
 Status ViewManager::TryRecomputeView(size_t index, FaultInjector* fault) {
@@ -134,6 +144,7 @@ void ViewManager::RepairView(const std::string& name) {
     const Status status = TryRecomputeView(i, nullptr);
     IDIVM_CHECK(status.ok(), status.ToString());
     quarantined_.erase(name);
+    if (registry_ != nullptr) registry_->Track(db_->GetTable(name));
     return;
   }
   IDIVM_UNREACHABLE(StrCat("no such view: ", name));
@@ -203,9 +214,39 @@ std::string ViewManager::LoadRepository(const std::string& text) {
     }
     views_.emplace_back(loaded.view.view_name,
                         std::make_unique<Maintainer>(db_, loaded.view));
+    if (registry_ != nullptr) {
+      registry_->Track(db_->GetTable(loaded.view.view_name));
+    }
     cursor = next;
   }
   return "";
+}
+
+void ViewManager::EnableSnapshotReads() {
+  if (registry_ != nullptr) return;
+  registry_ = std::make_unique<mvcc::SnapshotRegistry>();
+  // Existing views start versioned at their current contents (including
+  // quarantined ones: a stale live table serves stale snapshots, exactly
+  // like direct reads would).
+  for (const auto& [name, maintainer] : views_) {
+    registry_->Track(db_->GetTable(name));
+  }
+}
+
+void ViewManager::TrackTableForSnapshots(const std::string& name) {
+  IDIVM_CHECK(registry_ != nullptr,
+              "TrackTableForSnapshots requires EnableSnapshotReads()");
+  registry_->Track(db_->GetTable(name));
+}
+
+mvcc::Snapshot ViewManager::OpenSnapshot() const {
+  IDIVM_CHECK(registry_ != nullptr,
+              "OpenSnapshot requires EnableSnapshotReads()");
+  return registry_->OpenSnapshot();
+}
+
+uint64_t ViewManager::snapshot_epoch() const {
+  return registry_ != nullptr ? registry_->committed_epoch() : 0;
 }
 
 std::map<std::string, MaintainResult> ViewManager::Refresh(
@@ -240,7 +281,25 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
     if (quarantined_.count(views_[i].first) == 0) active.push_back(i);
   }
   const size_t n = active.size();
-  if (n == 0) return OkStatus();
+
+  // In snapshot-read mode the refresh's outcome — tracked base-table deltas
+  // plus every serviceable view's epoch redo — accumulates here and is
+  // installed as ONE atomic flip at the end, whatever mix of commits,
+  // recomputes and quarantines the ladder produced.
+  mvcc::SnapshotRegistry::PublishSpec spec;
+  if (registry_ != nullptr) {
+    for (const auto& [table, mods] : net) {
+      if (!registry_->IsTracked(table)) continue;
+      auto& delta = spec.deltas[table];
+      delta.insert(delta.end(), mods.begin(), mods.end());
+    }
+  }
+
+  if (n == 0) {
+    // No views in service, but tracked base tables still advanced.
+    if (registry_ != nullptr) registry_->PublishEpoch(spec, *db_);
+    return OkStatus();
+  }
 
   MaintainOptions mopts;
   mopts.threads = options.script_threads;
@@ -254,6 +313,9 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
     int rollbacks = 0;   // failed epoch attempts (first try and retry)
     bool retried = false;
     bool serviceable = false;  // current after rungs 0/1
+    // Snapshot-read mode: the committed epoch's stored-row changes (moved
+    // out of the epoch's undo log), awaiting the atomic flip.
+    EpochUndo redo;
   };
 
   // Rungs 0 and 1 for one view, on whatever thread maintains it. Sound in
@@ -261,7 +323,11 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
   // only this view's tables, and the rolled-back epoch published nothing.
   auto maintain_view = [&](size_t vi, ViewRun* run) {
     Maintainer& m = *views_[vi].second;
-    Status status = m.TryMaintain(net, mopts, &run->result);
+    MaintainOptions vopts = mopts;
+    // A failed epoch rolls back and leaves run->redo empty; only the
+    // committed attempt's changes ever reach the flip.
+    if (registry_ != nullptr) vopts.redo = &run->redo;
+    Status status = m.TryMaintain(net, vopts, &run->result);
     if (status.ok()) {
       run->serviceable = true;
       return;
@@ -274,7 +340,7 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
     // injected fault whose budget is spent, a scheduling hazard) do not
     // repeat deterministically.
     run->retried = true;
-    MaintainOptions retry = mopts;
+    MaintainOptions retry = vopts;
     retry.threads = 1;
     status = m.TryMaintain(net, retry, &run->result);
     if (status.ok()) {
@@ -371,6 +437,9 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
       incident.recovered = true;
       report->results.emplace(name, MaintainResult());
       report->incidents.push_back(std::move(incident));
+      // The live Table object was rebuilt, so there is no delta to derive
+      // from; the flip republishes this view from its new contents.
+      if (registry_ != nullptr) spec.rematerialize.insert(name);
       continue;
     }
     if (options.degrade == DegradePolicy::kRecompute) {
@@ -398,6 +467,23 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
       logger_.journal()->JournalQuarantine(name, run.first_error.ToString());
     }
     report->incidents.push_back(std::move(incident));
+  }
+  if (registry_ != nullptr) {
+    // Collect every committed epoch's redo into the spec, keyed by tracked
+    // table (cache-table entries are filtered out here: snapshots serve
+    // views and base tables, not idIVM's internal caches), then install
+    // the whole refresh as one flip. Views that stayed on their pre-epoch
+    // contents (failed or quarantined) are absent from the spec and keep
+    // their current version.
+    for (size_t i = 0; i < n; ++i) {
+      ViewRun& run = runs[i];
+      if (!run.serviceable) continue;
+      for (auto& [table, mod] : run.redo.TakeEntries()) {
+        if (!registry_->IsTracked(table->name())) continue;
+        spec.deltas[table->name()].push_back(std::move(mod));
+      }
+    }
+    registry_->PublishEpoch(spec, *db_);
   }
   if (trace != nullptr) {
     obs::TraceSpan span;

@@ -28,6 +28,7 @@
 
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
+#include "src/mvcc/snapshot.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
 
@@ -156,6 +157,31 @@ class ViewManager {
   // tables and returns it to service.
   void RepairView(const std::string& name);
 
+  // ---- Snapshot-isolated reads (src/mvcc, DESIGN.md "Read concurrency &
+  //      versioning") ----
+  // Turns on MVCC read mode: every registered view table (and every view
+  // defined, loaded or repaired afterwards) is versioned, and each
+  // TryRefresh publishes its outcome as one atomic epoch flip. Readers on
+  // other threads call OpenSnapshot() and see either the whole refresh or
+  // none of it — never a partially applied ∆-script. Idempotent. Off by
+  // default: when off, nothing is versioned and no mvcc metric ever
+  // registers (the contract-v1 export stays byte-identical).
+  void EnableSnapshotReads();
+  bool snapshot_reads_enabled() const { return registry_ != nullptr; }
+
+  // Also versions a base table (snapshots then cover base reads too).
+  // Its snapshot state advances at refresh boundaries — the epoch commit —
+  // not per Insert/Delete/Update. Requires EnableSnapshotReads() first.
+  void TrackTableForSnapshots(const std::string& name);
+
+  // A stable read view of every tracked table at the last committed epoch.
+  // Safe from any thread, concurrently with a running refresh; the handle
+  // pins the versions until destroyed. Requires EnableSnapshotReads().
+  mvcc::Snapshot OpenSnapshot() const;
+
+  // The last committed snapshot epoch (0 before any publish).
+  uint64_t snapshot_epoch() const;
+
   // The shared modification logger (Fig. 3). Lets workload generators feed
   // logged changes directly; prefer Insert/Delete/Update in eager mode
   // (changes logged here do not trigger eager refresh).
@@ -190,6 +216,8 @@ class ViewManager {
   std::vector<std::pair<std::string, std::unique_ptr<Maintainer>>> views_;
   // Views taken out of service by ladder rung 3.
   std::set<std::string> quarantined_;
+  // Non-null iff snapshot reads are enabled (EnableSnapshotReads).
+  std::unique_ptr<mvcc::SnapshotRegistry> registry_;
 };
 
 }  // namespace idivm

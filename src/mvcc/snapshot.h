@@ -1,0 +1,115 @@
+// Snapshot-isolated reads during maintenance — the serving half of the
+// engine. A SnapshotRegistry keeps one published, immutable TableVersion
+// per tracked table; ViewManager::TryRefresh publishes each maintenance
+// epoch's outcome as one atomic flip (every tracked table advances
+// together, under the registry lock), so a reader can never observe a
+// partially applied ∆-script. OpenSnapshot hands out a refcounted handle
+// pinning every tracked table at the last committed epoch; old versions
+// are garbage-collected when the last holding snapshot releases them
+// (metered by idivm_snapshot_gc_* — see table_version.h).
+//
+// Threading contract: Track / Untrack / PublishEpoch run on the single
+// maintenance thread (the same serialization ViewManager already requires
+// for DefineView / Refresh); OpenSnapshot may be called from any number of
+// reader threads concurrently with all of them. After OpenSnapshot
+// returns, reads touch only immutable data — no locks, no stored tables.
+
+#ifndef IDIVM_MVCC_SNAPSHOT_H_
+#define IDIVM_MVCC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mvcc/table_version.h"
+#include "src/storage/database.h"
+
+namespace idivm::mvcc {
+
+// A stable read view: every tracked table at the registry's committed
+// epoch as of OpenSnapshot. Move-only so version retention (and therefore
+// GC timing) follows the handle explicitly. Destruction releases the
+// pinned versions; the last release of a version reclaims it.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  Snapshot(Snapshot&&) = default;
+  Snapshot& operator=(Snapshot&&) = default;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  // The registry's committed epoch when this snapshot was opened. An
+  // individual table's version may carry an older epoch — the epoch of the
+  // flip that last changed that table.
+  uint64_t epoch() const { return epoch_; }
+
+  bool Contains(const std::string& name) const {
+    return versions_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+
+  // The pinned version of `name`. Aborts if the table is not in this
+  // snapshot (tracked after it was opened, or never tracked).
+  const TableVersion& Read(const std::string& name) const;
+
+ private:
+  friend class SnapshotRegistry;
+  uint64_t epoch_ = 0;
+  std::map<std::string, std::shared_ptr<const TableVersion>> versions_;
+};
+
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  // Starts versioning `table`, publishing its current live contents at a
+  // fresh epoch. Re-tracking an already-tracked table republishes it (the
+  // repair/recompute path, where the live Table object was replaced).
+  void Track(const Table& table);
+
+  // Stops versioning the table (view dropped). Snapshots already holding
+  // its versions keep them until released.
+  void Untrack(const std::string& name);
+
+  bool IsTracked(const std::string& name) const;
+  std::vector<std::string> TrackedTables() const;
+
+  // One atomic epoch publish.
+  struct PublishSpec {
+    // Tracked-table deltas in per-table program order with full pre/post
+    // images — the committed epochs' undo logs replayed forward, plus the
+    // refresh's net base-table changes for tracked base tables.
+    std::map<std::string, std::vector<Modification>> deltas;
+    // Tracked tables to republish from live contents instead (degradation
+    // ladder rung 2 recomputed the view; its live Table was rebuilt, so
+    // there is no delta). Wins over a delta for the same name.
+    std::set<std::string> rematerialize;
+  };
+
+  // Derives/materializes the new versions and installs them all under one
+  // lock together with the epoch bump — the atomic flip. Tables absent
+  // from the spec keep their current version (e.g. a quarantined view's
+  // last good state). Returns the new committed epoch. Maintenance thread
+  // only.
+  uint64_t PublishEpoch(const PublishSpec& spec, const Database& db);
+
+  // Stable reads at the last committed epoch. Any thread.
+  Snapshot OpenSnapshot() const;
+
+  uint64_t committed_epoch() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t epoch_ = 0;
+  std::map<std::string, std::shared_ptr<const TableVersion>> current_;
+};
+
+}  // namespace idivm::mvcc
+
+#endif  // IDIVM_MVCC_SNAPSHOT_H_

@@ -45,6 +45,8 @@ struct TraceSpan {
   std::vector<std::pair<std::string, int64_t>> args;
 };
 
+// Collects completed spans on a single steady clock and exports them as
+// Chrome trace_event JSON. Thread-safe; one recorder per traced run.
 class TraceRecorder {
  public:
   TraceRecorder();

@@ -67,4 +67,24 @@ void EpochUndo::Clear() {
   entries_.clear();
 }
 
+void EpochUndo::MoveEntriesTo(EpochUndo* dest) {
+  IDIVM_CHECK(dest != this, "EpochUndo::MoveEntriesTo onto itself");
+  std::vector<std::pair<Table*, Modification>> taken = TakeEntries();
+  std::lock_guard<std::mutex> lock(dest->mutex_);
+  if (dest->entries_.empty()) {
+    dest->entries_ = std::move(taken);
+  } else {
+    dest->entries_.insert(dest->entries_.end(),
+                          std::make_move_iterator(taken.begin()),
+                          std::make_move_iterator(taken.end()));
+  }
+}
+
+std::vector<std::pair<Table*, Modification>> EpochUndo::TakeEntries() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<Table*, Modification>> taken;
+  taken.swap(entries_);
+  return taken;
+}
+
 }  // namespace idivm

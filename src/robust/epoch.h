@@ -44,6 +44,15 @@ class EpochUndo {
 
   void Clear();
 
+  // Appends this log's entries to `dest` (in recorded order) and clears
+  // this log — the commit path of snapshot-read mode, where a successful
+  // epoch's undo log becomes the redo delta that derives the next table
+  // versions (the undo machinery doubling as the MVCC version store).
+  void MoveEntriesTo(EpochUndo* dest);
+
+  // Takes the recorded entries, leaving the log empty.
+  std::vector<std::pair<Table*, Modification>> TakeEntries();
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::pair<Table*, Modification>> entries_;

@@ -1,0 +1,334 @@
+// MVCC read subsystem (src/mvcc): version semantics, snapshot stability
+// across refresh, GC metering, and the torn-read invariant under concurrent
+// reader threads — the MvccParallelTest suite runs under TSan in CI
+// alongside the parallel-maintenance tests.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/view_manager.h"
+#include "src/mvcc/snapshot.h"
+#include "src/mvcc/table_version.h"
+#include "src/obs/metrics.h"
+#include "src/robust/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+using mvcc::Snapshot;
+using mvcc::TableVersion;
+using testing::ExpectViewMatchesRecompute;
+using testing::LoadRunningExample;
+using testing::Recompute;
+using testing::RunningExampleAggPlan;
+using testing::RunningExampleSpjPlan;
+
+// Byte-comparable content fingerprint: sorted rows, pretty-printed.
+std::string Fingerprint(const Relation& relation) {
+  return relation.Sorted().ToString();
+}
+
+TEST(MvccTest, VersionLookupAndOverlaySemantics) {
+  Database db;
+  LoadRunningExample(&db);
+  const Table& parts = db.GetTable("parts");
+
+  const auto v1 = TableVersion::Materialize(parts, 1);
+  EXPECT_EQ(v1->epoch(), 1u);
+  EXPECT_EQ(v1->size(), 3u);
+  EXPECT_EQ(v1->overlay_size(), 0u);
+  ASSERT_TRUE(v1->LookupByKey({Value("P1")}).has_value());
+  EXPECT_FALSE(v1->LookupByKey({Value("P9")}).has_value());
+
+  // Derive: update P1's price, delete P3, insert P4.
+  std::vector<Modification> delta;
+  delta.push_back({DiffType::kUpdate,
+                   {Value("P1"), Value(10.0)},
+                   {Value("P1"), Value(11.0)}});
+  delta.push_back({DiffType::kDelete, {Value("P3"), Value(20.0)}, {}});
+  delta.push_back({DiffType::kInsert, {}, {Value("P4"), Value(40.0)}});
+  const auto v2 = TableVersion::Derive(v1, delta, 2);
+
+  EXPECT_EQ(v2->epoch(), 2u);
+  EXPECT_EQ(v2->size(), 3u);
+  EXPECT_EQ((*v2->LookupByKey({Value("P1")}))[1], Value(11.0));
+  EXPECT_FALSE(v2->LookupByKey({Value("P3")}).has_value());  // tombstone
+  ASSERT_TRUE(v2->LookupByKey({Value("P4")}).has_value());
+
+  // v1 is immutable: deriving v2 changed nothing it serves.
+  EXPECT_EQ((*v1->LookupByKey({Value("P1")}))[1], Value(10.0));
+  ASSERT_TRUE(v1->LookupByKey({Value("P3")}).has_value());
+  EXPECT_EQ(v1->size(), 3u);
+
+  // Scan agrees with the live table after applying the same delta.
+  Relation want(parts.schema(),
+                {{Value("P1"), Value(11.0)},
+                 {Value("P2"), Value(20.0)},
+                 {Value("P4"), Value(40.0)}});
+  EXPECT_TRUE(v2->Scan().BagEquals(want));
+}
+
+TEST(MvccTest, RebaseKeepsContents) {
+  Database db;
+  Table& t = db.CreateTable(
+      "t", Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}}), {"k"});
+  Relation seed(t.schema());
+  for (int64_t k = 0; k < 40; ++k) seed.Append({Value(k), Value(k * 10)});
+  t.BulkLoadUncounted(seed);
+
+  auto version = TableVersion::Materialize(t, 1);
+  // 20 updates on a 40-row base crosses the rebase threshold (overlay >= 16
+  // and overlay*4 >= base rows): the result must be folded, overlay-free,
+  // and content-identical.
+  std::vector<Modification> delta;
+  for (int64_t k = 0; k < 20; ++k) {
+    delta.push_back({DiffType::kUpdate,
+                     {Value(k), Value(k * 10)},
+                     {Value(k), Value(k * 10 + 1)}});
+  }
+  const auto rebased = TableVersion::Derive(version, delta, 2);
+  EXPECT_EQ(rebased->overlay_size(), 0u);
+  EXPECT_EQ(rebased->size(), 40u);
+  for (int64_t k = 0; k < 40; ++k) {
+    const auto row = rebased->LookupByKey({Value(k)});
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ((*row)[1], Value(k < 20 ? k * 10 + 1 : k * 10));
+  }
+}
+
+TEST(MvccTest, GcCountsReleasedVersions) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const int64_t versions_before =
+      registry.CounterValue("idivm_snapshot_gc_versions_total");
+  const int64_t bytes_before =
+      registry.CounterValue("idivm_snapshot_gc_bytes_total");
+  {
+    Database db;
+    LoadRunningExample(&db);
+    auto v1 = TableVersion::Materialize(db.GetTable("parts"), 1);
+    auto v2 = TableVersion::Derive(
+        v1, {{DiffType::kInsert, {}, {Value("P4"), Value(40.0)}}}, 2);
+    // Both versions (and the base they share) die here.
+  }
+  EXPECT_GE(registry.CounterValue("idivm_snapshot_gc_versions_total"),
+            versions_before + 2);
+  EXPECT_GT(registry.CounterValue("idivm_snapshot_gc_bytes_total"),
+            bytes_before);
+}
+
+TEST(MvccTest, SnapshotStableAcrossRefresh) {
+  Database db;
+  LoadRunningExample(&db);
+  ViewManager vm(&db);
+  const PlanPtr plan = RunningExampleSpjPlan(db);
+  vm.DefineView("vspj", plan);
+  vm.EnableSnapshotReads();
+  vm.TrackTableForSnapshots("parts");
+
+  const Snapshot before = vm.OpenSnapshot();
+  const std::string view_before = Fingerprint(before.Read("vspj").Scan());
+  const std::string parts_before = Fingerprint(before.Read("parts").Scan());
+
+  // Mutate and refresh: the held snapshot must not move.
+  ASSERT_TRUE(vm.Update("parts", {Value("P1")}, {"price"}, {Value(99.0)}));
+  ASSERT_TRUE(vm.Insert("devices_parts", {Value("D2"), Value("P2")}));
+  vm.Refresh();
+
+  EXPECT_EQ(Fingerprint(before.Read("vspj").Scan()), view_before);
+  EXPECT_EQ(Fingerprint(before.Read("parts").Scan()), parts_before);
+
+  // A fresh snapshot sees the refreshed state, which matches recompute.
+  const Snapshot after = vm.OpenSnapshot();
+  EXPECT_GT(after.epoch(), before.epoch());
+  EXPECT_TRUE(after.Read("vspj").Scan().BagEquals(Recompute(&db, plan)));
+  EXPECT_TRUE(after.Read("parts").Scan().BagEquals(
+      db.GetTable("parts").SnapshotUncounted()));
+  ExpectViewMatchesRecompute(&db, plan, "vspj");
+}
+
+// One observation a reader made: which table, at which published epoch,
+// with what contents.
+struct Observed {
+  std::string table;
+  uint64_t epoch;
+  std::string fingerprint;
+};
+
+// The invariant scenario: a writer runs refresh rounds over the running
+// example while `readers` threads open snapshots and scan. Every observed
+// (table, epoch) must byte-match the recompute at that epoch — recorded by
+// the writer right after each publish, while the tables are quiescent.
+void RunTornReadScenario(int readers) {
+  SCOPED_TRACE(::testing::Message() << "readers=" << readers);
+  Database db;
+  LoadRunningExample(&db);
+  ViewManager vm(&db);
+  const PlanPtr spj = RunningExampleSpjPlan(db);
+  const PlanPtr agg = RunningExampleAggPlan(db);
+  vm.DefineView("vspj", spj);
+  vm.DefineView("vagg", agg);
+  vm.EnableSnapshotReads();
+  vm.TrackTableForSnapshots("parts");
+
+  const std::vector<std::string> tables = {"vspj", "vagg", "parts"};
+  // expected[table][epoch] -> fingerprint of the independently recomputed
+  // contents at that epoch. Written by the writer between refreshes; read
+  // only after the readers join.
+  std::map<std::string, std::map<uint64_t, std::string>> expected;
+  auto record_expected = [&] {
+    const Snapshot snap = vm.OpenSnapshot();
+    expected["vspj"][snap.Read("vspj").epoch()] =
+        Fingerprint(Recompute(&db, spj));
+    expected["vagg"][snap.Read("vagg").epoch()] =
+        Fingerprint(Recompute(&db, agg));
+    expected["parts"][snap.Read("parts").epoch()] =
+        Fingerprint(db.GetTable("parts").SnapshotUncounted());
+  };
+  record_expected();
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<Observed>> seen(readers);
+  std::vector<std::thread> pool;
+  pool.reserve(readers);
+  for (int r = 0; r < readers; ++r) {
+    pool.emplace_back([&, r] {
+      size_t iter = 0;
+      while (!done.load(std::memory_order_acquire) || iter < 32) {
+        const Snapshot snap = vm.OpenSnapshot();
+        const std::string& table = tables[(iter + r) % tables.size()];
+        const TableVersion& version = snap.Read(table);
+        seen[r].push_back(
+            {table, version.epoch(), Fingerprint(version.Scan())});
+        ++iter;
+      }
+    });
+  }
+
+  const double prices[] = {31.0, 7.5, 18.0, 55.0, 12.0, 44.0};
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(
+        vm.Update("parts", {Value("P1")}, {"price"}, {Value(prices[round])}));
+    // (D2,P2) and (D3,P1) are absent from the running example; each round
+    // inserts one and deletes it again, so both directions flip the views.
+    ASSERT_TRUE(vm.Insert(
+        "devices_parts",
+        {Value(round % 2 == 0 ? "D2" : "D3"),
+         Value(round % 2 == 0 ? "P2" : "P1")}));
+    vm.Refresh();
+    record_expected();
+    ASSERT_TRUE(vm.Delete(
+        "devices_parts",
+        {Value(round % 2 == 0 ? "D2" : "D3"),
+         Value(round % 2 == 0 ? "P2" : "P1")}));
+    vm.Refresh();
+    record_expected();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+
+  size_t observations = 0;
+  for (const auto& per_reader : seen) {
+    for (const Observed& obs : per_reader) {
+      ++observations;
+      const auto& per_table = expected[obs.table];
+      const auto it = per_table.find(obs.epoch);
+      ASSERT_NE(it, per_table.end())
+          << obs.table << " observed at never-published epoch " << obs.epoch;
+      EXPECT_EQ(it->second, obs.fingerprint)
+          << obs.table << " torn at epoch " << obs.epoch;
+    }
+  }
+  EXPECT_GT(observations, 0u);
+}
+
+TEST(MvccParallelTest, ReadersNeverObserveTornState1) {
+  RunTornReadScenario(1);
+}
+TEST(MvccParallelTest, ReadersNeverObserveTornState2) {
+  RunTornReadScenario(2);
+}
+TEST(MvccParallelTest, ReadersNeverObserveTornState4) {
+  RunTornReadScenario(4);
+}
+TEST(MvccParallelTest, ReadersNeverObserveTornState8) {
+  RunTornReadScenario(8);
+}
+
+// Chaos variant: a mid-epoch injected fault rolls the first view's epoch
+// back; concurrent readers must only ever see that view's pre-epoch
+// version, while the second view (whose epoch committed) advances.
+TEST(MvccParallelTest, FaultedEpochInvisibleToReaders) {
+  Database db;
+  LoadRunningExample(&db);
+  ViewManager vm(&db);
+  const PlanPtr spj = RunningExampleSpjPlan(db);
+  const PlanPtr agg = RunningExampleAggPlan(db);
+  vm.DefineView("vspj", spj);
+  vm.DefineView("vagg", agg);
+  vm.EnableSnapshotReads();
+
+  const Snapshot pre = vm.OpenSnapshot();
+  const std::string spj_pre = Fingerprint(pre.Read("vspj").Scan());
+  const uint64_t spj_epoch_pre = pre.Read("vspj").epoch();
+
+  ASSERT_TRUE(vm.Update("parts", {Value("P2")}, {"price"}, {Value(77.0)}));
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<Observed>> seen(2);
+  std::vector<std::thread> pool;
+  for (int r = 0; r < 2; ++r) {
+    pool.emplace_back([&, r] {
+      size_t iter = 0;
+      while (!done.load(std::memory_order_acquire) || iter < 32) {
+        const Snapshot snap = vm.OpenSnapshot();
+        seen[r].push_back({"vspj", snap.Read("vspj").epoch(),
+                           Fingerprint(snap.Read("vspj").Scan())});
+        ++iter;
+      }
+    });
+  }
+
+  // Site 0 is the first site the refresh visits — inside vspj's epoch
+  // (views maintain sequentially in definition order with threads=1).
+  FaultPlan plan;
+  plan.fire_at_site = 0;
+  plan.max_fires = 1;
+  FaultInjector injector(plan);
+  RefreshOptions options;
+  options.degrade = DegradePolicy::kFailFast;
+  options.fault = &injector;
+  RefreshReport report;
+  const Status status = vm.TryRefresh(options, &report);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+
+  ASSERT_FALSE(status.ok());
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].view, "vspj");
+
+  // The failed view's epoch never published: the new snapshot still serves
+  // the pre-epoch version, and every concurrent observation was that exact
+  // version.
+  const Snapshot post = vm.OpenSnapshot();
+  EXPECT_EQ(post.Read("vspj").epoch(), spj_epoch_pre);
+  EXPECT_EQ(Fingerprint(post.Read("vspj").Scan()), spj_pre);
+  for (const auto& per_reader : seen) {
+    for (const Observed& obs : per_reader) {
+      EXPECT_EQ(obs.epoch, spj_epoch_pre);
+      EXPECT_EQ(obs.fingerprint, spj_pre);
+    }
+  }
+  // The committed view advanced and matches recompute against the current
+  // base tables (the base change stayed applied).
+  EXPECT_TRUE(post.Read("vagg").Scan().BagEquals(Recompute(&db, agg)));
+  ExpectViewMatchesRecompute(&db, agg, "vagg");
+}
+
+}  // namespace
+}  // namespace idivm
