@@ -91,6 +91,19 @@ inline double ParseRateFlag(const char* flag, const char* text) {
   return value;
 }
 
+// Parses a ∆-script engine name (--engine): "interpret" runs the per-step
+// interpreter, "compiled" the src/exec bytecode VM. Both are byte-identical
+// in results; the flag exists so benches can time them against each other.
+inline ExecEngine ParseEngineFlag(const char* flag, const std::string& text) {
+  if (text == "interpret") return ExecEngine::kInterpret;
+  if (text == "compiled") return ExecEngine::kCompiled;
+  std::fprintf(stderr,
+               "error: flag %s expects one of interpret, compiled; got "
+               "\"%s\"\n",
+               flag, text.c_str());
+  std::exit(2);
+}
+
 // Parses a degradation-ladder policy name (--degrade-policy).
 inline DegradePolicy ParseDegradePolicyFlag(const char* flag,
                                             const char* text) {
@@ -232,13 +245,18 @@ class BenchFlags {
   explicit BenchFlags(bool with_readers = false)
       : with_readers_(with_readers) {}
 
-  // Consumes --threads / --readers / --trace-out / --metrics-out at
-  // argv[*i]; returns false for any other flag.
+  // Consumes --threads / --engine / --readers / --trace-out /
+  // --metrics-out at argv[*i]; returns false for any other flag.
   bool Match(int argc, char** argv, int* i) {
     if (obs_.Match(argc, argv, i)) return true;
     if (std::strcmp(argv[*i], "--threads") == 0) {
       threads = ParsePositiveIntFlag("--threads",
                                      FlagValue("--threads", argc, argv, i));
+      return true;
+    }
+    std::string engine_text;
+    if (MatchStringFlag("--engine", argc, argv, i, &engine_text)) {
+      engine = ParseEngineFlag("--engine", engine_text);
       return true;
     }
     if (with_readers_ && std::strcmp(argv[*i], "--readers") == 0) {
@@ -251,9 +269,11 @@ class BenchFlags {
 
   // The flags Match() accepts, for the bench's "not recognized" message.
   const char* Supported() const {
-    return with_readers_ ? "--threads N, --readers N, --trace-out PATH, "
-                           "--metrics-out PATH"
-                         : "--threads N, --trace-out PATH, --metrics-out PATH";
+    return with_readers_
+               ? "--threads N, --engine {interpret,compiled}, --readers N, "
+                 "--trace-out PATH, --metrics-out PATH"
+               : "--threads N, --engine {interpret,compiled}, "
+                 "--trace-out PATH, --metrics-out PATH";
   }
 
   // Call once after flag parsing (installs the global trace recorder when
@@ -263,6 +283,7 @@ class BenchFlags {
 
   int threads = 1;
   int readers = 4;
+  ExecEngine engine = ExecEngine::kInterpret;
 
  private:
   bool with_readers_;
@@ -298,7 +319,8 @@ struct EngineResult {
 // Runs idIVM on a fresh devices/parts database.
 inline EngineResult RunIdIvm(const DevicesPartsConfig& config, int64_t d,
                              bool with_selection = true,
-                             const CompilerOptions& options = {}) {
+                             const CompilerOptions& options = {},
+                             ExecEngine engine = ExecEngine::kInterpret) {
   Database db;
   DevicesPartsWorkload workload(&db, config);
   Maintainer m(&db,
@@ -307,7 +329,8 @@ inline EngineResult RunIdIvm(const DevicesPartsConfig& config, int64_t d,
   ModificationLogger logger(&db);
   workload.ApplyPriceUpdates(&logger, d);
   db.stats().Reset();
-  return {"ID-based IVM", m.Maintain(logger.NetChanges())};
+  return {"ID-based IVM",
+          m.Maintain(logger.NetChanges(), MaintainOptions{.engine = engine})};
 }
 
 inline EngineResult RunTupleIvm(const DevicesPartsConfig& config, int64_t d,

@@ -81,6 +81,8 @@ Row ConcatRows(const Row& a, const Row& b) {
   return out;
 }
 
+}  // namespace
+
 // ---- Probe paths -----------------------------------------------------------
 //
 // A plan subtree is "probeable" on a set of output columns when keyed lookups
@@ -89,16 +91,10 @@ Row ConcatRows(const Row& a, const Row& b) {
 // probe into Join(A, B) on columns of A probes A, then probes B per result
 // row through the join's equi condition — exactly the chained diff-driven
 // index-nested-loop plan the Section 6 analysis assumes over R1, ..., Rn.
-
-// Decomposes a join for probing from `columns` (all of which must come from
-// one side). On success fills: which side is probed first, the equi keys
-// linking to the other side, and the residual predicate.
-struct JoinProbePlan {
-  size_t first = 0;  // child index probed with the incoming key
-  std::vector<std::string> first_link_cols;   // equi cols on `first` side
-  std::vector<std::string> second_link_cols;  // matching cols on other side
-  ExprPtr residual;
-};
+//
+// PlanJoinProbe / CheckProbeable / FindProbeableKeySubset are declared in
+// the header: the src/exec compiler replays these exact decisions at
+// compile time (they depend only on plan structure and stored schemas).
 
 bool PlanJoinProbe(const PlanNode& join, const Schema& left_schema,
                    const Schema& right_schema,
@@ -135,12 +131,12 @@ bool PlanJoinProbe(const PlanNode& join, const Schema& left_schema,
 
 bool CheckProbeable(const PlanPtr& plan,
                     const std::vector<std::string>& columns,
-                    const EvalContext& ctx) {
+                    const Database& db) {
   switch (plan->kind()) {
     case PlanKind::kScan:
       return true;  // hash index on demand
     case PlanKind::kSelect:
-      return CheckProbeable(plan->child(0), columns, ctx);
+      return CheckProbeable(plan->child(0), columns, db);
     case PlanKind::kProject: {
       std::vector<std::string> inner;
       inner.reserve(columns.size());
@@ -157,26 +153,28 @@ bool CheckProbeable(const PlanPtr& plan,
         }
         inner.push_back(found->expr->column_name());
       }
-      return CheckProbeable(plan->child(0), inner, ctx);
+      return CheckProbeable(plan->child(0), inner, db);
     }
     case PlanKind::kJoin: {
       JoinProbePlan probe;
-      const Schema left_schema = InferSchema(plan->child(0), *ctx.db);
-      const Schema right_schema = InferSchema(plan->child(1), *ctx.db);
+      const Schema left_schema = InferSchema(plan->child(0), db);
+      const Schema right_schema = InferSchema(plan->child(1), db);
       if (!PlanJoinProbe(*plan, left_schema, right_schema, columns, &probe)) {
         return false;
       }
-      return CheckProbeable(plan->child(probe.first), columns, ctx) &&
+      return CheckProbeable(plan->child(probe.first), columns, db) &&
              CheckProbeable(plan->child(1 - probe.first),
-                            probe.second_link_cols, ctx);
+                            probe.second_link_cols, db);
     }
     case PlanKind::kCoalesceProbe:
-      return CheckProbeable(plan->child(0), columns, ctx) &&
-             CheckProbeable(plan->child(1), columns, ctx);
+      return CheckProbeable(plan->child(0), columns, db) &&
+             CheckProbeable(plan->child(1), columns, db);
     default:
       return false;
   }
 }
+
+namespace {
 
 Relation EvaluateImpl(const PlanPtr& plan, EvalContext& ctx);
 
@@ -389,14 +387,14 @@ struct HashedSide {
   }
 };
 
-// Finds a subset of the equi-key positions on which `target` can serve
-// keyed probes, preferring the largest subset (fewest residual checks). A
-// multi-component key may span several base relations of a subview; probing
-// on one component and filtering the rest reproduces the DBMS's index
-// choice. Returns an empty vector when no non-empty subset works.
+}  // namespace
+
+// A multi-component key may span several base relations of a subview;
+// probing on one component and filtering the rest reproduces the DBMS's
+// index choice.
 std::vector<size_t> FindProbeableKeySubset(
     const PlanPtr& target, const std::vector<std::string>& target_cols,
-    const EvalContext& ctx) {
+    const Database& db) {
   const size_t n = target_cols.size();
   if (n == 0 || n > 10) return {};
   // Try the full set first (common case), then subsets by decreasing size.
@@ -413,10 +411,12 @@ std::vector<size_t> FindProbeableKeySubset(
   for (const std::vector<size_t>& subset : candidates) {
     std::vector<std::string> cols;
     for (size_t i : subset) cols.push_back(target_cols[i]);
-    if (CheckProbeable(target, cols, ctx)) return subset;
+    if (CheckProbeable(target, cols, db)) return subset;
   }
   return {};
 }
+
+namespace {
 
 Relation EvalJoin(const PlanPtr& plan, EvalContext& ctx) {
   const Database& db = *ctx.db;
@@ -466,7 +466,7 @@ Relation EvalJoin(const PlanPtr& plan, EvalContext& ctx) {
     const std::vector<size_t> rk_all = right_schema.ColumnIndices(right_keys);
     if (IsTransientOnly(left)) {
       const std::vector<size_t> subset =
-          FindProbeableKeySubset(right, right_keys, ctx);
+          FindProbeableKeySubset(right, right_keys, db);
       if (!subset.empty()) {
         const Relation left_rel = EvaluateImpl(left, ctx);
         std::vector<std::string> probe_cols;
@@ -492,7 +492,7 @@ Relation EvalJoin(const PlanPtr& plan, EvalContext& ctx) {
     }
     if (IsTransientOnly(right)) {
       const std::vector<size_t> subset =
-          FindProbeableKeySubset(left, left_keys, ctx);
+          FindProbeableKeySubset(left, left_keys, db);
       if (!subset.empty()) {
         const Relation right_rel = EvaluateImpl(right, ctx);
         std::vector<std::string> probe_cols;
@@ -616,7 +616,7 @@ Relation EvalSemi(const PlanPtr& plan, bool anti, EvalContext& ctx) {
   // σφ(∆) ⋉ R and ∆ ⋉̄ Input_post.
   if (!equi.empty() && IsTransientOnly(left)) {
     const std::vector<size_t> subset =
-        FindProbeableKeySubset(right, right_keys, ctx);
+        FindProbeableKeySubset(right, right_keys, db);
     if (!subset.empty()) {
       const Relation left_rel = EvaluateImpl(left, ctx);
       std::vector<std::string> probe_cols;
@@ -651,7 +651,7 @@ Relation EvalSemi(const PlanPtr& plan, bool anti, EvalContext& ctx) {
   // fetched for several diff keys, so emitted rows are deduplicated.
   if (!anti && !equi.empty() && IsTransientOnly(right)) {
     const std::vector<size_t> subset =
-        FindProbeableKeySubset(left, left_keys, ctx);
+        FindProbeableKeySubset(left, left_keys, db);
     if (!subset.empty()) {
       const Relation right_rel = EvaluateImpl(right, ctx);
       std::vector<std::string> probe_cols;

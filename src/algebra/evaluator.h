@@ -79,6 +79,43 @@ struct EvalContext {
 // Evaluates `plan` to a materialized relation.
 Relation Evaluate(const PlanPtr& plan, EvalContext& ctx);
 
+// ---- Probe planning --------------------------------------------------------
+//
+// The static half of the diff-driven loop plan: whether a subtree can serve
+// keyed lookups, and how a join decomposes into chained probes. Exposed so
+// the ∆-script compiler (src/exec) makes byte-for-byte the same decisions at
+// compile time that the evaluator makes per evaluation — the decisions
+// depend only on plan structure and stored-table schemas, never on data.
+
+// Decomposes a join for probing from `columns` (all of which must come from
+// one side). On success fills: which side is probed first, the equi keys
+// linking to the other side, and the residual predicate.
+struct JoinProbePlan {
+  size_t first = 0;  // child index probed with the incoming key
+  std::vector<std::string> first_link_cols;   // equi cols on `first` side
+  std::vector<std::string> second_link_cols;  // matching cols on other side
+  ExprPtr residual;
+};
+
+bool PlanJoinProbe(const PlanNode& join, const Schema& left_schema,
+                   const Schema& right_schema,
+                   const std::vector<std::string>& columns,
+                   JoinProbePlan* out);
+
+// True when keyed lookups on `columns` can be served by stored hash indexes
+// at the subtree's Scan leaves (selections, renaming projections and chained
+// joins applied on the way out).
+bool CheckProbeable(const PlanPtr& plan,
+                    const std::vector<std::string>& columns,
+                    const Database& db);
+
+// Finds a subset of the equi-key positions on which `target` can serve
+// keyed probes, preferring the largest subset (fewest residual checks).
+// Returns an empty vector when no non-empty subset works.
+std::vector<size_t> FindProbeableKeySubset(
+    const PlanPtr& target, const std::vector<std::string>& target_cols,
+    const Database& db);
+
 }  // namespace idivm
 
 #endif  // IDIVM_ALGEBRA_EVALUATOR_H_

@@ -15,6 +15,11 @@
 #include "src/common/check.h"
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
+#include "src/core/aggregate_exec.h"
+#include "src/core/step_access.h"
+#include "src/exec/compiler.h"
+#include "src/exec/program_cache.h"
+#include "src/exec/vm.h"
 #include "src/expr/analysis.h"
 #include "src/obs/metrics.h"
 
@@ -94,476 +99,37 @@ Relation ReconstructPreState(const Table& table,
   return pre;
 }
 
-// Casts a double aggregate value to the declared output column type.
-Value CastNumeric(DataType type, double v) {
-  if (type == DataType::kInt64) {
-    return Value(static_cast<int64_t>(std::llround(v)));
-  }
-  return Value(v);
-}
-
-struct RowLess {
-  bool operator()(const Row& a, const Row& b) const {
-    return CompareRows(a, b) < 0;
-  }
-};
-
-// Per-group accumulated deltas for the incremental γ rules.
-struct GroupDelta {
-  std::vector<double> sum_delta;     // per spec: Σ arg_post − Σ arg_pre
-  std::vector<int64_t> nonnull_delta;  // per spec: Δ(#non-null args)
-  int64_t row_delta = 0;             // Δ(group cardinality)
-};
-
-// Executes one AggregateStep. `transients` supplies the row-granularity
-// inputs and receives the emitted output diffs.
-class AggregateExecutor {
+// γ executor transient store backed by the interpreter's name → Relation
+// map plus the step's EvalContext bindings — the exact register/erase
+// sequence the executor performed before extraction to aggregate_exec.
+class MapTransientAccess : public TransientAccess {
  public:
-  AggregateExecutor(Database* db, const AggregateStep& step,
-                    std::map<std::string, Relation>* transients,
-                    EvalContext* ctx, MaintainResult* result)
-      : db_(db), step_(step), transients_(transients), ctx_(ctx),
-        result_(result) {}
+  MapTransientAccess(std::map<std::string, Relation>* transients,
+                     EvalContext* ctx)
+      : transients_(transients), ctx_(ctx) {}
 
-  Status Run() {
-    IDIVM_RETURN_IF_ERROR(BindSpecs());
-    IDIVM_RETURN_IF_ERROR(AccumulateDeltas());
-    if (step_.mode == AggregateStep::Mode::kIncremental) {
-      if (!step_.opcache_table.empty()) {
-        IDIVM_RETURN_IF_ERROR(RunIncrementalWithOpcache());
-      } else {
-        RunIncrementalDirect();
-      }
-    } else {
-      RunRecompute();
-    }
-    EmitOutputs();
-    return OkStatus();
-  }
-
- private:
-  Status Rows(const std::string& name, const Relation** out) {
+  const Relation* Find(const std::string& name) override {
     const auto it = transients_->find(name);
-    if (it == transients_->end()) {
-      return CorruptScriptError(StrCat("γ input rows missing: ", name));
-    }
-    *out = &it->second;
-    return OkStatus();
+    return it == transients_->end() ? nullptr : &it->second;
   }
 
-  Status BindSpecs() {
-    group_cols_ = step_.input_schema.ColumnIndices(step_.group_by);
-    for (const AggSpec& spec : step_.aggs) {
-      if (spec.arg != nullptr) {
-        args_.emplace_back(BoundExpr(spec.arg, step_.input_schema));
-      } else {
-        args_.emplace_back(std::nullopt);
-      }
-    }
-    // Output diff skeletons.
-    const DiffSchema* upd = FindSchema(step_.out_update);
-    const DiffSchema* ins = FindSchema(step_.out_insert);
-    const DiffSchema* del = FindSchema(step_.out_delete);
-    if (upd == nullptr || ins == nullptr || del == nullptr) {
-      return CorruptScriptError(StrCat("γ-maintain ", step_.node_name,
-                                       ": aggregate output diffs not "
-                                       "registered"));
-    }
-    update_ = std::make_unique<DiffInstance>(*upd);
-    insert_ = std::make_unique<DiffInstance>(*ins);
-    delete_ = std::make_unique<DiffInstance>(*del);
-    return OkStatus();
+  void Publish(const std::string& name, Relation rel) override {
+    (*transients_)[name] = std::move(rel);
   }
 
-  const DiffSchema* FindSchema(const std::string& name) {
-    return script_schema_lookup_ != nullptr
-               ? script_schema_lookup_->FindDiffSchema(name)
-               : nullptr;
+  Relation EvaluateScoped(const PlanPtr& plan, const std::string& scratch_name,
+                          const Relation& scratch) override {
+    (*transients_)[scratch_name] = scratch;
+    ctx_->transient[scratch_name] = &(*transients_)[scratch_name];
+    Relation out = Evaluate(plan, *ctx_);
+    ctx_->transient.erase(scratch_name);
+    transients_->erase(scratch_name);
+    return out;
   }
-
- public:
-  void set_script(const DeltaScript* script) { script_schema_lookup_ = script; }
-  void set_undo(EpochUndo* undo) { undo_ = undo; }
 
  private:
-  void Contribute(const Row& row, double sign) {
-    Row key = ProjectRow(row, group_cols_);
-    GroupDelta& delta = deltas_[key];
-    if (delta.sum_delta.empty()) {
-      delta.sum_delta.resize(step_.aggs.size(), 0);
-      delta.nonnull_delta.resize(step_.aggs.size(), 0);
-    }
-    delta.row_delta += sign > 0 ? 1 : -1;
-    for (size_t k = 0; k < step_.aggs.size(); ++k) {
-      if (!args_[k].has_value()) {
-        delta.nonnull_delta[k] += sign > 0 ? 1 : -1;  // COUNT(*)
-        continue;
-      }
-      const Value v = args_[k]->Eval(row);
-      if (v.is_null()) continue;
-      delta.nonnull_delta[k] += sign > 0 ? 1 : -1;
-      if (v.is_numeric()) delta.sum_delta[k] += sign * v.NumericAsDouble();
-    }
-  }
-
-  Status AccumulateDeltas() {
-    for (const AggregateInput& input : step_.inputs) {
-      const Relation* pre = nullptr;
-      const Relation* post = nullptr;
-      switch (input.type) {
-        case DiffType::kInsert:
-          IDIVM_RETURN_IF_ERROR(Rows(input.post_rows, &post));
-          for (const Row& row : post->rows()) Contribute(row, +1);
-          break;
-        case DiffType::kDelete:
-          IDIVM_RETURN_IF_ERROR(Rows(input.pre_rows, &pre));
-          for (const Row& row : pre->rows()) Contribute(row, -1);
-          break;
-        case DiffType::kUpdate: {
-          // Sum deltas do not require row alignment: subtract all pre
-          // images, add all post images.
-          IDIVM_RETURN_IF_ERROR(Rows(input.pre_rows, &pre));
-          IDIVM_RETURN_IF_ERROR(Rows(input.post_rows, &post));
-          for (const Row& row : pre->rows()) Contribute(row, -1);
-          for (const Row& row : post->rows()) Contribute(row, +1);
-          break;
-        }
-      }
-    }
-    return OkStatus();
-  }
-
-  bool DeltaIsZero(const GroupDelta& d) const {
-    if (d.row_delta != 0) return false;
-    for (int64_t n : d.nonnull_delta) {
-      if (n != 0) return false;
-    }
-    for (double s : d.sum_delta) {
-      if (s != 0) return false;
-    }
-    return true;
-  }
-
-  // Final value of spec k given its sum and non-null count.
-  Value Finalize(size_t k, double sum, int64_t nonnull, int64_t rows) {
-    const AggSpec& spec = step_.aggs[k];
-    const DataType type =
-        step_.output_schema
-            .column(step_.output_schema.ColumnIndex(spec.name)).type;
-    switch (spec.func) {
-      case AggFunc::kCount:
-        return Value(spec.arg == nullptr ? rows : nonnull);
-      case AggFunc::kSum:
-        if (nonnull == 0) return Value::Null();
-        return CastNumeric(type, sum);
-      case AggFunc::kAvg:
-        if (nonnull == 0) return Value::Null();
-        return Value(sum / static_cast<double>(nonnull));
-      case AggFunc::kMin:
-      case AggFunc::kMax:
-        IDIVM_UNREACHABLE("min/max require recompute mode");
-    }
-    IDIVM_UNREACHABLE("bad AggFunc");
-  }
-
-  // ---- incremental, view updated additively (root γ, sum/count) ----
-  void RunIncrementalDirect() {
-    std::vector<Row> need_recompute;
-    for (const auto& [key, delta] : deltas_) {
-      if (DeltaIsZero(delta)) continue;
-      if (delta.row_delta == 0) {
-        // Pure value change: additive update diff (Tables 9/11).
-        Row row = key;
-        for (size_t k = 0; k < step_.aggs.size(); ++k) {
-          const AggSpec& spec = step_.aggs[k];
-          const DataType type =
-              step_.output_schema
-                  .column(step_.output_schema.ColumnIndex(spec.name)).type;
-          if (spec.func == AggFunc::kCount) {
-            row.push_back(Value(spec.arg == nullptr
-                                    ? int64_t{0}
-                                    : delta.nonnull_delta[k]));
-          } else {  // SUM
-            row.push_back(CastNumeric(type, delta.sum_delta[k]));
-          }
-        }
-        update_->Append(std::move(row));
-      } else {
-        need_recompute.push_back(key);
-      }
-    }
-    RecomputeGroups(need_recompute, EmitMode::kClassifiedDeleteInsert);
-  }
-
-  // ---- incremental with the SUM+COUNT operator cache (Table 12) ----
-  Status RunIncrementalWithOpcache() {
-    Table& opcache = db_->GetTable(step_.opcache_table);
-    const Schema& cache_schema = opcache.schema();
-    const std::vector<size_t> key_cols =
-        cache_schema.ColumnIndices(step_.group_by);
-    std::vector<size_t> sum_cols;
-    std::vector<size_t> cnt_cols;
-    for (const AggSpec& spec : step_.aggs) {
-      sum_cols.push_back(cache_schema.ColumnIndex(StrCat("__sum_", spec.name)));
-      cnt_cols.push_back(cache_schema.ColumnIndex(StrCat("__cnt_", spec.name)));
-    }
-    const size_t count_col = cache_schema.ColumnIndex("__count");
-
-    for (const auto& [key, delta] : deltas_) {
-      if (DeltaIsZero(delta)) continue;
-      Row post_image;
-      std::vector<Row> pre_images;
-      std::vector<Row> post_images;
-      const bool capture = undo_ != nullptr;
-      const size_t touched = opcache.UpdateRowsWhereEquals(
-          key_cols, key,
-          [&](Row& row) {
-            for (size_t k = 0; k < step_.aggs.size(); ++k) {
-              row[sum_cols[k]] =
-                  Value(row[sum_cols[k]].NumericAsDouble() +
-                        delta.sum_delta[k]);
-              row[cnt_cols[k]] =
-                  Value(row[cnt_cols[k]].AsInt64() + delta.nonnull_delta[k]);
-            }
-            row[count_col] = Value(row[count_col].AsInt64() + delta.row_delta);
-            post_image = row;
-          },
-          capture ? &pre_images : nullptr, capture ? &post_images : nullptr);
-      if (undo_ != nullptr) {
-        for (size_t j = 0; j < pre_images.size(); ++j) {
-          undo_->Record(&opcache, Modification{DiffType::kUpdate,
-                                               pre_images[j], post_images[j]});
-        }
-      }
-      int64_t count_post;
-      if (touched == 0) {
-        if (delta.row_delta <= 0) {
-          // A vanished group the opcache has never seen: the input diffs
-          // violate the Section 2 effectiveness conditions.
-          return ApplyConflictError(
-              "negative delta for an unknown group — non-effective "
-              "input diffs");
-        }
-        // New group: insert the opcache row.
-        Row row = key;
-        for (size_t k = 0; k < step_.aggs.size(); ++k) {
-          row.push_back(Value(delta.sum_delta[k]));
-          row.push_back(Value(delta.nonnull_delta[k]));
-        }
-        // Column order: group cols, then (sum, cnt) pairs, then __count —
-        // matches the compose-time schema.
-        row.push_back(Value(delta.row_delta));
-        opcache.Insert(row);
-        if (undo_ != nullptr) {
-          undo_->Record(&opcache, Modification{DiffType::kInsert, Row(), row});
-        }
-        post_image = row;
-        count_post = delta.row_delta;
-      } else {
-        count_post = post_image[count_col].AsInt64();
-      }
-      const int64_t count_pre = count_post - delta.row_delta;
-      if (count_post == 0) {
-        opcache.DeleteByKey(key);
-        if (undo_ != nullptr) {
-          undo_->Record(&opcache,
-                        Modification{DiffType::kDelete, post_image, Row()});
-        }
-        if (count_pre > 0) delete_->Append(key);
-        continue;
-      }
-      // Final absolute values from the opcache row.
-      Row values;
-      for (size_t k = 0; k < step_.aggs.size(); ++k) {
-        values.push_back(Finalize(k, post_image[sum_cols[k]].NumericAsDouble(),
-                                  post_image[cnt_cols[k]].AsInt64(),
-                                  count_post));
-      }
-      Row row = key;
-      row.insert(row.end(), values.begin(), values.end());
-      if (count_pre == 0) {
-        insert_->Append(std::move(row));
-      } else {
-        update_->Append(std::move(row));
-      }
-    }
-    return OkStatus();
-  }
-
-  // ---- general recompute rule (Table 7) ----
-  void RunRecompute() {
-    // Affected groups: every group key touched by any input image. The set
-    // may overestimate (keys whose net change cancels); recomputing them is
-    // harmless.
-    std::vector<Row> affected;
-    for (const auto& [key, delta] : deltas_) {
-      (void)delta;
-      affected.push_back(key);
-    }
-    RecomputeGroups(affected, EmitMode::kUpdateAndInsert);
-  }
-
-  // How RecomputeGroups emits diffs for groups that still exist.
-  enum class EmitMode {
-    // Deltas are exact: classify via count_pre into insert vs update; the
-    // additive out_update schema forces absolute updates to be expressed as
-    // delete+insert pairs.
-    kClassifiedDeleteInsert,
-    // Deltas may be inexact (general recompute): emit both an (absolute)
-    // update and an insert for every surviving group — existing rows take
-    // the update, missing rows the insert (NOT-IN guard), applied in
-    // (-, u, +) order.
-    kUpdateAndInsert,
-  };
-
-  // Recomputes `keys` from the input's post state. Groups with no remaining
-  // rows become deletes; surviving groups are emitted per `mode`.
-  void RecomputeGroups(const std::vector<Row>& keys, EmitMode mode) {
-    if (keys.empty()) return;
-    // Probe the input's post state per group key.
-    Schema key_schema;
-    {
-      std::vector<ColumnDef> cols;
-      for (const std::string& g : step_.group_by) {
-        cols.push_back({g, step_.input_schema.column(
-                               step_.input_schema.ColumnIndex(g)).type});
-      }
-      key_schema = Schema(cols);
-    }
-    Relation key_rel(key_schema);
-    for (const Row& key : keys) key_rel.Append(key);
-    const std::string key_name = "__gkeys";
-    (*transients_)[key_name] = key_rel;
-    ctx_->transient[key_name] = &(*transients_)[key_name];
-
-    std::vector<ExprPtr> eqs;
-    std::vector<ProjectItem> rename;
-    for (const std::string& g : step_.group_by) {
-      rename.push_back({Col(g), StrCat("__k_", g)});
-      eqs.push_back(Eq(Col(g), Col(StrCat("__k_", g))));
-    }
-    PlanPtr probe = PlanNode::SemiJoin(
-        step_.input_post_plan,
-        PlanNode::Project(PlanNode::RelationRef(key_name, key_schema),
-                          rename),
-        ConjoinAll(eqs));
-    const Relation rows = Evaluate(probe, *ctx_);
-    ctx_->transient.erase(key_name);
-    transients_->erase(key_name);
-
-    // Group + recompute exactly (count rows, non-null counts, sums, min/max).
-    struct Recomputed {
-      int64_t rows = 0;
-      std::vector<int64_t> nonnull;
-      std::vector<double> sums;
-      std::vector<Value> mins;
-      std::vector<Value> maxs;
-    };
-    std::map<Row, Recomputed, RowLess> groups;
-    for (const Row& row : rows.rows()) {
-      Row key = ProjectRow(row, group_cols_);
-      Recomputed& g = groups[key];
-      if (g.nonnull.empty()) {
-        g.nonnull.resize(step_.aggs.size(), 0);
-        g.sums.resize(step_.aggs.size(), 0);
-        g.mins.resize(step_.aggs.size());
-        g.maxs.resize(step_.aggs.size());
-      }
-      ++g.rows;
-      for (size_t k = 0; k < step_.aggs.size(); ++k) {
-        if (!args_[k].has_value()) {
-          ++g.nonnull[k];
-          continue;
-        }
-        const Value v = args_[k]->Eval(row);
-        if (v.is_null()) continue;
-        ++g.nonnull[k];
-        if (v.is_numeric()) g.sums[k] += v.NumericAsDouble();
-        if (g.mins[k].is_null() || v.Compare(g.mins[k]) < 0) g.mins[k] = v;
-        if (g.maxs[k].is_null() || v.Compare(g.maxs[k]) > 0) g.maxs[k] = v;
-      }
-    }
-
-    for (const Row& key : keys) {
-      const auto it = groups.find(key);
-      if (it == groups.end()) {
-        // No remaining rows: the group disappears (delete is overestimated
-        // for groups that never existed; harmless).
-        delete_->Append(key);
-        continue;
-      }
-      const Recomputed& g = it->second;
-      Row values;
-      for (size_t k = 0; k < step_.aggs.size(); ++k) {
-        const AggSpec& spec = step_.aggs[k];
-        const DataType type =
-            step_.output_schema
-                .column(step_.output_schema.ColumnIndex(spec.name)).type;
-        switch (spec.func) {
-          case AggFunc::kCount:
-            values.push_back(
-                Value(spec.arg == nullptr ? g.rows : g.nonnull[k]));
-            break;
-          case AggFunc::kSum:
-            values.push_back(g.nonnull[k] == 0
-                                 ? Value::Null()
-                                 : CastNumeric(type, g.sums[k]));
-            break;
-          case AggFunc::kAvg:
-            values.push_back(g.nonnull[k] == 0
-                                 ? Value::Null()
-                                 : Value(g.sums[k] /
-                                         static_cast<double>(g.nonnull[k])));
-            break;
-          case AggFunc::kMin:
-            values.push_back(g.mins[k]);
-            break;
-          case AggFunc::kMax:
-            values.push_back(g.maxs[k]);
-            break;
-        }
-      }
-      Row row = key;
-      row.insert(row.end(), values.begin(), values.end());
-      if (mode == EmitMode::kUpdateAndInsert) {
-        update_->Append(row);
-        insert_->Append(std::move(row));
-        continue;
-      }
-      const GroupDelta& delta = deltas_.at(key);
-      const int64_t count_pre = g.rows - delta.row_delta;
-      if (count_pre <= 0) {
-        insert_->Append(std::move(row));
-      } else {
-        // The additive out_update schema cannot carry absolute values:
-        // express the update as delete + re-insert (keys disjoint from the
-        // purely-additive groups).
-        delete_->Append(key);
-        insert_->Append(std::move(row));
-      }
-    }
-  }
-
-  void EmitOutputs() {
-    (*transients_)[step_.out_update] = update_->data();
-    (*transients_)[step_.out_insert] = insert_->data();
-    (*transients_)[step_.out_delete] = delete_->data();
-  }
-
-  Database* db_;
-  const AggregateStep& step_;
   std::map<std::string, Relation>* transients_;
   EvalContext* ctx_;
-  MaintainResult* result_;
-  const DeltaScript* script_schema_lookup_ = nullptr;
-  EpochUndo* undo_ = nullptr;
-
-  std::vector<size_t> group_cols_;
-  std::vector<std::optional<BoundExpr>> args_;
-  std::map<Row, GroupDelta, RowLess> deltas_;
-  std::unique_ptr<DiffInstance> update_;
-  std::unique_ptr<DiffInstance> insert_;
-  std::unique_ptr<DiffInstance> delete_;
 };
 
 // ---- Parallel scheduling over the rule DAG ---------------------------------
@@ -575,90 +141,6 @@ class AggregateExecutor {
 // transient the other consumes (a DAG edge), or when one writes a stored
 // table the other reads or writes. Non-conflicting steps — exactly the
 // independent per-base-table diff chains of Fig. 6 — run concurrently.
-
-// Transient relations a plan reads. The minimizer's statically-empty
-// "__empty*" refs resolve without the context and are not reads.
-void CollectTransientRefs(const PlanPtr& plan, std::set<std::string>* out) {
-  if (plan == nullptr) return;
-  if (plan->kind() == PlanKind::kRelationRef &&
-      plan->ref_name().rfind("__empty", 0) != 0) {
-    out->insert(plan->ref_name());
-  }
-  for (const PlanPtr& child : plan->children()) {
-    CollectTransientRefs(child, out);
-  }
-}
-
-// Stored tables a plan may read (Scan leaves in either state; CoalesceProbe
-// children are ordinary subplans and are covered by their own Scans).
-void CollectScanTables(const PlanPtr& plan, std::set<std::string>* out) {
-  if (plan == nullptr) return;
-  if (plan->kind() == PlanKind::kScan) out->insert(plan->table_name());
-  for (const PlanPtr& child : plan->children()) {
-    CollectScanTables(child, out);
-  }
-}
-
-// The scheduler-relevant footprint of one script step.
-struct StepAccess {
-  std::set<std::string> transient_reads;
-  std::set<std::string> transient_writes;
-  std::set<std::string> table_reads;
-  std::set<std::string> table_writes;
-  // Blocking γ steps merge every branch that reaches them and mutate the
-  // shared transient store while running: they execute as barriers.
-  bool exclusive = false;
-  MaintPhase phase = MaintPhase::kDiffComputation;
-  std::string label;
-};
-
-StepAccess AnalyzeStep(const ScriptStep& step) {
-  StepAccess access;
-  if (step.compute.has_value()) {
-    const ComputeDiffStep& cs = *step.compute;
-    CollectTransientRefs(cs.query, &access.transient_reads);
-    CollectScanTables(cs.query, &access.table_reads);
-    access.transient_writes.insert(cs.out_name);
-    access.phase = MaintPhase::kDiffComputation;
-    access.label = "compute " + cs.out_name;
-  } else if (step.apply.has_value()) {
-    const ApplyStep& as = *step.apply;
-    access.transient_reads.insert(as.diff_name);
-    access.table_writes.insert(as.target_table);
-    if (!as.returning_pre.empty()) {
-      access.transient_writes.insert(as.returning_pre);
-    }
-    if (!as.returning_post.empty()) {
-      access.transient_writes.insert(as.returning_post);
-    }
-    access.phase = as.phase;
-    access.label = "apply " + as.diff_name + " -> " + as.target_table;
-  } else if (step.aggregate.has_value()) {
-    access.exclusive = true;
-    access.phase = MaintPhase::kDiffComputation;
-    access.label = "γ-maintain " + step.aggregate->node_name;
-  }
-  return access;
-}
-
-bool Intersect(const std::set<std::string>& a,
-               const std::set<std::string>& b) {
-  for (const std::string& name : a) {
-    if (b.count(name) > 0) return true;
-  }
-  return false;
-}
-
-// True when the earlier step `a` must complete before `b` may start.
-bool StepsConflict(const StepAccess& a, const StepAccess& b) {
-  if (a.exclusive || b.exclusive) return true;
-  return Intersect(a.transient_writes, b.transient_reads) ||  // produce/use
-         Intersect(a.transient_writes, b.transient_writes) ||  // rebind
-         Intersect(a.transient_reads, b.transient_writes) ||   // anti-dep
-         Intersect(a.table_writes, b.table_reads) ||
-         Intersect(a.table_writes, b.table_writes) ||  // APPLYs per target
-         Intersect(a.table_reads, b.table_writes);
-}
 
 }  // namespace
 
@@ -675,6 +157,17 @@ Maintainer::Maintainer(Database* db, CompiledView view)
     }
   }
   pre_state_tables_.assign(pre_tables.begin(), pre_tables.end());
+}
+
+const exec::CompiledProgram* Maintainer::CompiledProgramFor(
+    const MaintainOptions& options, obs::TraceRecorder* trace) {
+  if (options.engine != ExecEngine::kCompiled) return nullptr;
+  if (options.programs != nullptr) {
+    program_ = options.programs->GetOrCompile(view_, *db_, trace);
+  } else if (program_ == nullptr) {
+    program_ = exec::CompileProgram(view_, *db_, trace);
+  }
+  return program_.get();
 }
 
 MaintainResult Maintainer::Maintain(
@@ -747,25 +240,6 @@ Status Maintainer::TryMaintain(
   const std::vector<ScriptStep>& steps = view_.script.steps;
   const size_t n = steps.size();
 
-  // Per-step execution record: every access charge lands in the step's
-  // private arena (no shared-counter writes while steps run), wall time and
-  // apply counters are per-step too. Everything is merged single-threaded,
-  // in script order, after execution — so the published counters cannot go
-  // backwards, double-count, or depend on the interleaving.
-  struct StepRun {
-    StatsArena arena;
-    double seconds = 0;
-    ApplyResult applied;
-    // Trace capture (filled only when tracing is on). start/end are on the
-    // recorder's clock so the apply sub-window nests exactly.
-    int tid = 0;
-    int64_t start_us = 0;
-    int64_t end_us = 0;
-    int64_t apply_start_us = 0;
-    int64_t apply_end_us = 0;
-    AccessStats apply_accesses;
-    bool has_apply = false;
-  };
   std::vector<StepRun> runs(n);
   std::vector<StepAccess> access(n);
   for (size_t i = 0; i < n; ++i) access[i] = AnalyzeStep(steps[i]);
@@ -853,8 +327,8 @@ Status Maintainer::TryMaintain(
                                 std::move(images.post_images));
         }
       } else if (step.aggregate.has_value()) {
-        AggregateExecutor exec(db_, *step.aggregate, &transients, &step_ctx,
-                               &result);
+        MapTransientAccess gamma_transients(&transients, &step_ctx);
+        AggregateExecutor exec(db_, *step.aggregate, &gamma_transients);
         exec.set_script(&view_.script);
         exec.set_undo(&undo);
         IDIVM_RETURN_IF_ERROR(exec.Run());
@@ -874,8 +348,29 @@ Status Maintainer::TryMaintain(
     return status;
   };
 
+  // Compiled engine: the register VM fills the same per-step `runs`
+  // records, so everything after the execution block — rollback, commit,
+  // merge, spans, metrics — is engine-agnostic. Compilation itself is
+  // charge-free (it reads only plan structure and stored schemas).
+  const exec::CompiledProgram* program = CompiledProgramFor(options, trace);
+
   Status epoch_status = OkStatus();
-  if (options.threads <= 1 || n <= 1) {
+  if (program != nullptr) {
+    exec::ExecEnv env;
+    env.db = db_;
+    env.program = program;
+    env.instances = &instances;
+    env.pre_state = &pre_state;
+    env.assist_unsafe = &assist_unsafe;
+    env.undo = &undo;
+    env.fault = options.fault;
+    env.max_epoch_ops = options.max_epoch_ops;
+    env.threads = options.threads;
+    env.trace = trace;
+    env.apply_observer = apply_observer_ ? &apply_observer_ : nullptr;
+    env.runs = &runs;
+    epoch_status = exec::Execute(env);
+  } else if (options.threads <= 1 || n <= 1) {
     // Sequential execution on the calling thread, in script order.
     std::vector<std::pair<std::string, Relation>> outputs;
     for (size_t i = 0; i < n; ++i) {

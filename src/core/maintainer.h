@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/core/compose.h"
@@ -30,6 +31,20 @@
 #include "src/storage/database.h"
 
 namespace idivm {
+
+namespace exec {
+struct CompiledProgram;
+class ProgramCache;
+}  // namespace exec
+
+// Which ∆-script executor runs the epoch. Both engines are byte-identical
+// in table contents, AccessStats, fault behaviour and error messages;
+// kCompiled skips the per-epoch binding and strategy-selection work by
+// running a cached CompiledProgram (src/exec).
+enum class ExecEngine {
+  kInterpret,
+  kCompiled,
+};
 
 struct PhaseCost {
   AccessStats accesses;
@@ -68,6 +83,14 @@ struct MaintainOptions {
   // (src/mvcc) from exactly what the epoch changed. A failed epoch still
   // rolls back and leaves `redo` untouched.
   EpochUndo* redo = nullptr;
+  // The ∆-script executor. kCompiled lowers the script once (src/exec)
+  // and runs the program through the register VM; epochs/undo, the
+  // degradation ladder, MVCC redo hand-off and per-rule attribution are
+  // engine-agnostic.
+  ExecEngine engine = ExecEngine::kInterpret;
+  // Program cache for kCompiled. nullptr: the maintainer compiles its view
+  // once and keeps the program privately (bench/one-shot use).
+  exec::ProgramCache* programs = nullptr;
 };
 
 struct MaintainResult {
@@ -125,11 +148,20 @@ class Maintainer {
   }
 
  private:
+  // The compiled program for this epoch: from options.programs when set,
+  // else compiled once and kept privately. Returns null only for the
+  // interpreting engine.
+  const exec::CompiledProgram* CompiledProgramFor(
+      const MaintainOptions& options, obs::TraceRecorder* trace);
+
   ApplyObserver apply_observer_;
   Database* db_;
   CompiledView view_;
   // Tables the script reads in pre-state (computed once from the script).
   std::vector<std::string> pre_state_tables_;
+  // Keeps the active program (and a privately-compiled one) alive across
+  // the epoch.
+  std::shared_ptr<const exec::CompiledProgram> program_;
 };
 
 }  // namespace idivm

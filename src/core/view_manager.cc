@@ -43,6 +43,7 @@ Maintainer& ViewManager::DefineView(const std::string& name,
                                     const PlanPtr& plan,
                                     const CompilerOptions& options) {
   IDIVM_CHECK(!HasView(name), StrCat("view already defined: ", name));
+  programs_.Clear();
   views_.emplace_back(name, std::make_unique<Maintainer>(
                                 db_, CompileView(name, plan, *db_, options)));
   if (registry_ != nullptr) registry_->Track(db_->GetTable(name));
@@ -73,6 +74,7 @@ std::vector<std::string> ViewManager::ViewNames() const {
 void ViewManager::DropView(const std::string& name) {
   for (auto it = views_.begin(); it != views_.end(); ++it) {
     if (it->first != name) continue;
+    programs_.Clear();
     for (const std::string& cache : it->second->view().cache_tables) {
       db_->DropTable(cache);
     }
@@ -88,6 +90,7 @@ void ViewManager::DropView(const std::string& name) {
 }
 
 void ViewManager::RecomputeAllViews() {
+  programs_.Clear();
   for (auto& [name, maintainer] : views_) {
     const PlanPtr plan = maintainer->view().plan;
     CompilerOptions options = maintainer->view().options;
@@ -118,6 +121,7 @@ Status ViewManager::TryRecomputeView(size_t index, FaultInjector* fault) {
   }
   const PlanPtr plan = maintainer->view().plan;
   CompilerOptions options = maintainer->view().options;
+  programs_.Clear();
   // Rematerialization is real work; charge it (view-definition time is free
   // in the cost model).
   options.charge_materialization = true;
@@ -186,6 +190,7 @@ std::string ViewManager::LoadRepository(const std::string& text) {
   // a crash.
   size_t pos = text.find("(repository 1 ");
   if (pos != 0) return "not a repository dump";
+  programs_.Clear();
   pos = text.find('\n');
   if (pos == std::string::npos) return "truncated repository header";
   size_t count = 0;
@@ -306,6 +311,8 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
   mopts.fault = options.fault;
   mopts.max_epoch_ops = options.max_epoch_ops;
   mopts.trace = options.trace;
+  mopts.engine = options.engine;
+  mopts.programs = &programs_;
 
   struct ViewRun {
     MaintainResult result;

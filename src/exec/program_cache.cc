@@ -1,0 +1,59 @@
+#include "src/exec/program_cache.h"
+
+#include <string>
+#include <utility>
+
+#include "src/core/script_io.h"
+#include "src/exec/compiler.h"
+#include "src/obs/metrics.h"
+
+namespace idivm {
+namespace exec {
+namespace {
+
+uint64_t Fnv64(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> ProgramCache::GetOrCompile(
+    const CompiledView& view, const Database& db,
+    obs::TraceRecorder* trace) {
+  const uint64_t key = Fnv64(SerializeCompiledView(view));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      obs::GlobalCounter("idivm_program_cache_hits_total").Increment();
+      return it->second;
+    }
+  }
+  // Compile outside the lock: compilation reads only the view and stored
+  // schemas. A concurrent miss on the same key compiles twice and the
+  // second insert wins — wasteful but correct (programs are immutable).
+  obs::GlobalCounter("idivm_program_cache_misses_total").Increment();
+  std::shared_ptr<const CompiledProgram> program =
+      CompileProgram(view, db, trace);
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_[key] = program;
+  return program;
+}
+
+void ProgramCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+}
+
+size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace exec
+}  // namespace idivm

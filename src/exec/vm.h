@@ -1,0 +1,60 @@
+// The register VM executing CompiledPrograms (program.h): slot registers
+// hold transient relations, instructions run sequentially or over the same
+// conflict DAG the interpreter schedules, and every micro-op performs the
+// full per-step bookkeeping — private StatsArena, fault sites, trace
+// windows, undo capture, op-budget check — so a compiled epoch is
+// byte-identical to an interpreted one in table contents, AccessStats,
+// fault behaviour and error messages.
+
+#ifndef IDIVM_EXEC_VM_H_
+#define IDIVM_EXEC_VM_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/evaluator.h"
+#include "src/core/step_access.h"
+#include "src/diff/diff_instance.h"
+#include "src/exec/program.h"
+#include "src/obs/trace.h"
+#include "src/robust/epoch.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/status.h"
+#include "src/storage/database.h"
+
+namespace idivm {
+namespace exec {
+
+// Everything one epoch execution needs. All pointers are borrowed and must
+// outlive the Execute call; `runs` must be sized to the program's step
+// count (the VM fills the same per-step records the interpreter does, so
+// the maintainer's merge loop is engine-agnostic).
+struct ExecEnv {
+  Database* db = nullptr;
+  const CompiledProgram* program = nullptr;
+  // The epoch's input diff instances (one per input binding).
+  const std::map<std::string, DiffInstance>* instances = nullptr;
+  const std::map<std::string, IndexedRelation>* pre_state = nullptr;
+  const std::set<std::string>* assist_unsafe = nullptr;
+  EpochUndo* undo = nullptr;
+  FaultInjector* fault = nullptr;
+  int64_t max_epoch_ops = 0;
+  int threads = 1;
+  obs::TraceRecorder* trace = nullptr;
+  const std::function<void(const std::string&, const DiffInstance&)>*
+      apply_observer = nullptr;
+  std::vector<StepRun>* runs = nullptr;
+};
+
+// Runs the program. On error the epoch's partial mutations are already in
+// `undo`; the caller rolls back (same contract as the interpreter's step
+// loop).
+Status Execute(const ExecEnv& env);
+
+}  // namespace exec
+}  // namespace idivm
+
+#endif  // IDIVM_EXEC_VM_H_

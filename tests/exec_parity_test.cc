@@ -1,0 +1,453 @@
+// Engine parity: the compiled ∆-script engine (src/exec) must be
+// byte-identical to the interpreter on every observable surface — table
+// contents, AccessStats, MaintainResult phases, error messages, fault-site
+// enumeration and rollback behaviour — at every thread count, on every
+// workload shape: the running example, the script_io fuzz corpus view, and
+// all eight BSMA views. Any divergence is a compiler or VM bug, never an
+// acceptable "optimization".
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/compose.h"
+#include "src/core/maintainer.h"
+#include "src/core/modification_log.h"
+#include "src/core/script_io.h"
+#include "src/core/view_manager.h"
+#include "src/obs/metrics.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/status.h"
+#include "src/workload/bsma.h"
+#include "tests/test_util.h"
+
+namespace idivm {
+namespace {
+
+std::map<std::string, std::string> SnapshotAll(Database* db) {
+  std::map<std::string, std::string> out;
+  for (const std::string& name : db->TableNames()) {
+    out[name] = db->GetTable(name).SnapshotUncounted().Sorted().ToString();
+  }
+  return out;
+}
+
+std::string JoinSnapshots(const std::map<std::string, std::string>& tables) {
+  std::string out;
+  for (const auto& [name, contents] : tables) {
+    out += "== " + name + " ==\n" + contents;
+  }
+  return out;
+}
+
+// The chaos-test change batch: touches all three running-example base
+// tables so both the SPJ chain and the γ step run.
+std::map<std::string, std::vector<Modification>> MakeNetChanges(
+    Database* db) {
+  ModificationLogger logger(db);
+  EXPECT_TRUE(logger.Update("parts", {Value("P1")}, {"price"},
+                            {Value(11.0)}));
+  EXPECT_TRUE(logger.Insert("parts", {Value("P5"), Value(50.0)}));
+  EXPECT_TRUE(logger.Insert("devices_parts", {Value("D1"), Value("P5")}));
+  EXPECT_TRUE(logger.Delete("devices_parts", {Value("D2"), Value("P1")}));
+  EXPECT_TRUE(logger.Update("devices", {Value("D3")}, {"category"},
+                            {Value("phone")}));
+  return logger.NetChanges();
+}
+
+// Counter values parsed out of the global registry's text export; used to
+// compare per-epoch counter *deltas* between engines. Labelled counter
+// names contain spaces, so the value is the last space-separated token.
+std::map<std::string, int64_t> CounterSnapshot() {
+  std::map<std::string, int64_t> out;
+  const std::string text = obs::MetricsRegistry::Global().ExportText();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("counter ", 0) != 0) continue;
+    const size_t split = line.rfind(' ');
+    out[line.substr(8, split - 8)] = std::stoll(line.substr(split + 1));
+  }
+  return out;
+}
+
+// Engine-specific metrics legitimately differ between the two runs; every
+// other counter (epochs, rollbacks, APPLY volume, per-rule accesses) must
+// move by exactly the same amount.
+bool IsEngineSpecificCounter(const std::string& name) {
+  return name.find("program_cache") != std::string::npos ||
+         name.find("fused_steps") != std::string::npos;
+}
+
+std::map<std::string, int64_t> CounterDelta(
+    const std::map<std::string, int64_t>& before,
+    const std::map<std::string, int64_t>& after) {
+  std::map<std::string, int64_t> delta;
+  for (const auto& [name, value] : after) {
+    if (IsEngineSpecificCounter(name)) continue;
+    const auto it = before.find(name);
+    const int64_t prior = it != before.end() ? it->second : 0;
+    if (value != prior) delta[name] = value - prior;
+  }
+  return delta;
+}
+
+// Everything observable from one maintenance epoch of the running example.
+struct EpochOutcome {
+  std::string status;           // Status::ToString()
+  std::string tables;           // all tables, sorted, concatenated
+  std::string stats;            // AccessStats::ToString()
+  std::string result;           // MaintainResult::ToString() (empty on error)
+  uint64_t sites_visited = 0;   // fault surface size
+  int faults_fired = 0;
+  std::map<std::string, int64_t> counters;  // engine-agnostic deltas
+};
+
+EpochOutcome RunEpoch(const std::string& shape, ExecEngine engine,
+                      int threads,
+                      std::optional<uint64_t> fire_at_site = std::nullopt,
+                      int64_t max_epoch_ops = 0) {
+  Database db;
+  testing::LoadRunningExample(&db);
+  const PlanPtr plan = shape == "agg" ? testing::RunningExampleAggPlan(db)
+                                      : testing::RunningExampleSpjPlan(db);
+  Maintainer m(&db, CompileView("v", plan, db));
+  const auto net = MakeNetChanges(&db);
+
+  FaultPlan fplan;
+  if (fire_at_site.has_value()) fplan.fire_at_site = *fire_at_site;
+  FaultInjector injector(fplan);
+
+  MaintainOptions options;
+  options.engine = engine;
+  options.threads = threads;
+  options.fault = &injector;
+  options.max_epoch_ops = max_epoch_ops;
+
+  const auto before = CounterSnapshot();
+  EpochOutcome out;
+  MaintainResult result;
+  const Status status = m.TryMaintain(net, options, &result);
+  out.status = status.ToString();
+  out.tables = JoinSnapshots(SnapshotAll(&db));
+  out.stats = db.stats().ToString();
+  if (status.ok()) out.result = result.ToString();
+  out.sites_visited = injector.sites_visited();
+  out.faults_fired = injector.faults_fired();
+  out.counters = CounterDelta(before, CounterSnapshot());
+  return out;
+}
+
+void ExpectOutcomesEqual(const EpochOutcome& interpret,
+                         const EpochOutcome& compiled,
+                         const std::string& context) {
+  EXPECT_EQ(compiled.status, interpret.status) << context;
+  EXPECT_EQ(compiled.tables, interpret.tables) << context;
+  EXPECT_EQ(compiled.stats, interpret.stats) << context;
+  EXPECT_EQ(compiled.result, interpret.result) << context;
+  EXPECT_EQ(compiled.faults_fired, interpret.faults_fired) << context;
+  EXPECT_EQ(compiled.counters, interpret.counters) << context;
+}
+
+class ExecParityShapeTest : public ::testing::TestWithParam<const char*> {};
+
+// Clean epochs at 1/2/4/8 script threads: the compiled engine (at any
+// thread count) must match the sequential interpreter bit for bit.
+TEST_P(ExecParityShapeTest, CleanEpochMatchesAtEveryThreadCount) {
+  const std::string shape = GetParam();
+  const EpochOutcome reference =
+      RunEpoch(shape, ExecEngine::kInterpret, /*threads=*/1);
+  ASSERT_EQ(reference.status, OkStatus().ToString());
+  for (const int threads : {1, 2, 4, 8}) {
+    const EpochOutcome compiled =
+        RunEpoch(shape, ExecEngine::kCompiled, threads);
+    ExpectOutcomesEqual(reference, compiled,
+                        shape + " threads=" + std::to_string(threads));
+    // The interpreter is thread-count invariant too; pin that while here.
+    const EpochOutcome interpret =
+        RunEpoch(shape, ExecEngine::kInterpret, threads);
+    ExpectOutcomesEqual(reference, interpret,
+                        shape + " interpret threads=" +
+                            std::to_string(threads));
+  }
+}
+
+// Both engines expose the identical fault surface, and an injected fault
+// at *every* site fails with the identical error, fires exactly once, and
+// rolls every table back to the identical pre-epoch bytes.
+TEST_P(ExecParityShapeTest, EveryFaultSiteDivergesNowhere) {
+  const std::string shape = GetParam();
+  const EpochOutcome probe_i =
+      RunEpoch(shape, ExecEngine::kInterpret, /*threads=*/1);
+  const EpochOutcome probe_c =
+      RunEpoch(shape, ExecEngine::kCompiled, /*threads=*/1);
+  ASSERT_EQ(probe_c.sites_visited, probe_i.sites_visited) << shape;
+  ASSERT_GT(probe_i.sites_visited, 0u) << shape;
+
+  for (uint64_t site = 0; site < probe_i.sites_visited; ++site) {
+    const std::string context = shape + " site " + std::to_string(site);
+    const EpochOutcome interpret =
+        RunEpoch(shape, ExecEngine::kInterpret, /*threads=*/1, site);
+    const EpochOutcome compiled =
+        RunEpoch(shape, ExecEngine::kCompiled, /*threads=*/1, site);
+    EXPECT_NE(interpret.status, OkStatus().ToString()) << context;
+    ExpectOutcomesEqual(interpret, compiled, context);
+  }
+}
+
+// The epoch op budget trips at the same point with the same message, and
+// the rollback is identical.
+TEST_P(ExecParityShapeTest, OpBudgetTripsIdentically) {
+  const std::string shape = GetParam();
+  for (const int64_t budget : {1, 3}) {
+    const EpochOutcome interpret =
+        RunEpoch(shape, ExecEngine::kInterpret, /*threads=*/1, std::nullopt,
+                 budget);
+    const EpochOutcome compiled =
+        RunEpoch(shape, ExecEngine::kCompiled, /*threads=*/1, std::nullopt,
+                 budget);
+    EXPECT_NE(interpret.status, OkStatus().ToString()) << shape;
+    ExpectOutcomesEqual(interpret, compiled,
+                        shape + " budget=" + std::to_string(budget));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ExecParityShapeTest,
+                         ::testing::Values("spj", "agg"));
+
+// ---- BSMA workloads (all eight Fig. 9b views) ---------------------------
+
+BsmaConfig SmallConfig() {
+  BsmaConfig config;
+  config.users = 60;
+  config.friends_per_user = 4;
+  config.num_cities = 5;
+  config.num_topics = 8;
+  return config;
+}
+
+struct BsmaOutcome {
+  std::string tables;
+  std::string stats;
+  std::string result;
+};
+
+BsmaOutcome RunBsma(const std::string& view, ExecEngine engine,
+                    int threads) {
+  Database db;
+  BsmaWorkload workload(&db, SmallConfig());
+  Maintainer m(&db, CompileView("v", workload.ViewPlan(view), db));
+  ModificationLogger logger(&db);
+  workload.ApplyUserUpdates(&logger, 40);
+
+  MaintainOptions options;
+  options.engine = engine;
+  options.threads = threads;
+  MaintainResult result;
+  const Status status = m.TryMaintain(logger.NetChanges(), options, &result);
+  EXPECT_TRUE(status.ok()) << view << ": " << status.ToString();
+  testing::ExpectViewMatchesRecompute(&db, m.view().plan, "v",
+                                      view + " engine parity run");
+  BsmaOutcome out;
+  out.tables = JoinSnapshots(SnapshotAll(&db));
+  out.stats = db.stats().ToString();
+  out.result = result.ToString();
+  return out;
+}
+
+class ExecParityBsmaTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExecParityBsmaTest, CompiledMatchesInterpreter) {
+  const std::string view = GetParam();
+  const BsmaOutcome reference =
+      RunBsma(view, ExecEngine::kInterpret, /*threads=*/1);
+  for (const int threads : {1, 2, 4, 8}) {
+    const BsmaOutcome compiled =
+        RunBsma(view, ExecEngine::kCompiled, threads);
+    const std::string context = view + " threads=" + std::to_string(threads);
+    EXPECT_EQ(compiled.tables, reference.tables) << context;
+    EXPECT_EQ(compiled.stats, reference.stats) << context;
+    EXPECT_EQ(compiled.result, reference.result) << context;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllViews, ExecParityBsmaTest,
+                         ::testing::ValuesIn(BsmaWorkload::ViewNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+// ---- The script_io fuzz corpus view, loaded then executed ---------------
+
+// Programs compiled from a *loaded* repository view (the fuzz corpus
+// serialization round trip) behave identically too: loading must not
+// produce a script that compiles differently from the one it serialized.
+TEST(ExecParityTest, LoadedCorpusViewMatches) {
+  auto run = [](ExecEngine engine) {
+    Database db;
+    BsmaWorkload workload(&db, SmallConfig());
+    const CompiledView compiled =
+        CompileView("v", workload.ViewPlan("qs1"), db);
+    const std::string corpus = SerializeCompiledView(compiled);
+    const LoadResult loaded = LoadCompiledView(corpus, db);
+    EXPECT_TRUE(loaded.ok) << loaded.error;
+    Maintainer m(&db, loaded.view);
+    ModificationLogger logger(&db);
+    workload.ApplyUserUpdates(&logger, 40);
+    MaintainOptions options;
+    options.engine = engine;
+    MaintainResult result;
+    const Status status =
+        m.TryMaintain(logger.NetChanges(), options, &result);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return JoinSnapshots(SnapshotAll(&db)) + db.stats().ToString() +
+           result.ToString();
+  };
+  EXPECT_EQ(run(ExecEngine::kCompiled), run(ExecEngine::kInterpret));
+}
+
+// ---- ViewManager: ladder, MVCC hand-off, program cache ------------------
+
+// Fault storms through the full degradation ladder: identical incidents
+// (view, rung, recovered), identical quarantine set, identical final
+// tables — for every seed — then identical recovery.
+TEST(ExecParityTest, LadderStormsMatch) {
+  auto run = [](ExecEngine engine, int seed) {
+    Database db;
+    testing::LoadRunningExample(&db);
+    ViewManager vm(&db);
+    vm.DefineView("v_spj", testing::RunningExampleSpjPlan(db));
+    vm.DefineView("v_agg", testing::RunningExampleAggPlan(db));
+    EXPECT_TRUE(vm.Update("parts", {Value("P1")}, {"price"},
+                          {Value(10.0 + seed)}));
+    EXPECT_TRUE(vm.Insert("parts", {Value("P7"), Value(70.0)}));
+    EXPECT_TRUE(vm.Insert("devices_parts", {Value("D1"), Value("P7")}));
+
+    FaultPlan plan;
+    plan.rate = 0.3;
+    plan.seed = static_cast<uint64_t>(seed);
+    plan.max_fires = (seed % 4);
+    FaultInjector injector(plan);
+    RefreshOptions options;
+    options.engine = engine;
+    options.fault = &injector;
+    RefreshReport report;
+    EXPECT_TRUE(vm.TryRefresh(options, &report).ok());
+
+    std::string out;
+    for (const ViewIncident& incident : report.incidents) {
+      out += incident.view + " rung " + std::to_string(incident.rung) +
+             (incident.recovered ? " recovered" : " lost") + "\n";
+    }
+    for (const std::string& name : vm.QuarantinedViews()) {
+      out += "quarantined " + name + "\n";
+      vm.RepairView(name);
+    }
+    for (const std::string name : {"v_spj", "v_agg"}) {
+      testing::ExpectViewMatchesRecompute(
+          &db, vm.GetView(name).view().plan, name,
+          "storm seed " + std::to_string(seed));
+    }
+    return out + JoinSnapshots(SnapshotAll(&db));
+  };
+  for (int seed = 0; seed < 12; ++seed) {
+    EXPECT_EQ(run(ExecEngine::kCompiled, seed),
+              run(ExecEngine::kInterpret, seed))
+        << "seed " << seed;
+  }
+}
+
+// Compiled refreshes in snapshot-read mode hand the identical redo delta
+// to MVCC: the published snapshot equals the live tables after the flip.
+TEST(ExecParityTest, MvccRedoHandOffMatches) {
+  auto run = [](ExecEngine engine) {
+    Database db;
+    testing::LoadRunningExample(&db);
+    ViewManager vm(&db);
+    vm.EnableSnapshotReads();
+    vm.DefineView("v_spj", testing::RunningExampleSpjPlan(db));
+    vm.DefineView("v_agg", testing::RunningExampleAggPlan(db));
+    EXPECT_TRUE(vm.Update("parts", {Value("P1")}, {"price"},
+                          {Value(11.0)}));
+    EXPECT_TRUE(vm.Insert("parts", {Value("P5"), Value(50.0)}));
+    EXPECT_TRUE(vm.Insert("devices_parts", {Value("D1"), Value("P5")}));
+    RefreshOptions options;
+    options.engine = engine;
+    RefreshReport report;
+    EXPECT_TRUE(vm.TryRefresh(options, &report).ok());
+    const mvcc::Snapshot snapshot = vm.OpenSnapshot();
+    std::string out;
+    for (const std::string name : {"v_spj", "v_agg"}) {
+      const Relation live = db.GetTable(name).SnapshotUncounted();
+      const Relation versioned = snapshot.Read(name).Scan();
+      EXPECT_TRUE(versioned.BagEquals(live)) << name;
+      out += versioned.Sorted().ToString();
+    }
+    return out;
+  };
+  EXPECT_EQ(run(ExecEngine::kCompiled), run(ExecEngine::kInterpret));
+}
+
+// The manager's program cache: second refresh hits, catalog changes
+// invalidate, and the interpreter never touches it.
+TEST(ExecParityTest, ProgramCacheHitsAndInvalidation) {
+  Database db;
+  testing::LoadRunningExample(&db);
+  ViewManager vm(&db);
+  vm.DefineView("v_spj", testing::RunningExampleSpjPlan(db));
+
+  const auto counter = [](const char* name) {
+    return obs::MetricsRegistry::Global().CounterValue(name);
+  };
+  const int64_t hits0 = counter("idivm_program_cache_hits_total");
+  const int64_t misses0 = counter("idivm_program_cache_misses_total");
+
+  RefreshOptions options;
+  options.engine = ExecEngine::kCompiled;
+  RefreshReport report;
+  EXPECT_TRUE(vm.Update("parts", {Value("P1")}, {"price"}, {Value(12.0)}));
+  ASSERT_TRUE(vm.TryRefresh(options, &report).ok());
+  EXPECT_EQ(counter("idivm_program_cache_misses_total"), misses0 + 1);
+  EXPECT_EQ(counter("idivm_program_cache_hits_total"), hits0);
+
+  EXPECT_TRUE(vm.Update("parts", {Value("P1")}, {"price"}, {Value(13.0)}));
+  ASSERT_TRUE(vm.TryRefresh(options, &report).ok());
+  EXPECT_EQ(counter("idivm_program_cache_misses_total"), misses0 + 1);
+  EXPECT_EQ(counter("idivm_program_cache_hits_total"), hits0 + 1);
+
+  // DefineView invalidates: the next compiled refresh recompiles both.
+  vm.DefineView("v_agg", testing::RunningExampleAggPlan(db));
+  EXPECT_TRUE(vm.Update("parts", {Value("P1")}, {"price"}, {Value(14.0)}));
+  ASSERT_TRUE(vm.TryRefresh(options, &report).ok());
+  EXPECT_EQ(counter("idivm_program_cache_misses_total"), misses0 + 3);
+  EXPECT_EQ(counter("idivm_program_cache_hits_total"), hits0 + 1);
+
+  // The interpreting engine neither hits nor misses.
+  EXPECT_TRUE(vm.Update("parts", {Value("P1")}, {"price"}, {Value(15.0)}));
+  RefreshOptions interpret;
+  ASSERT_TRUE(vm.TryRefresh(interpret, &report).ok());
+  EXPECT_EQ(counter("idivm_program_cache_misses_total"), misses0 + 3);
+  EXPECT_EQ(counter("idivm_program_cache_hits_total"), hits0 + 1);
+}
+
+// Compilation fuses diff→apply chains on the running example's SPJ script
+// and says so in the contract-v3 counter.
+TEST(ExecParityTest, CompilationFusesSteps) {
+  const int64_t fused0 = obs::MetricsRegistry::Global().CounterValue(
+      "idivm_fused_steps_total");
+  const EpochOutcome compiled =
+      RunEpoch("spj", ExecEngine::kCompiled, /*threads=*/1);
+  ASSERT_EQ(compiled.status, OkStatus().ToString());
+  EXPECT_GT(obs::MetricsRegistry::Global().CounterValue(
+                "idivm_fused_steps_total"),
+            fused0);
+}
+
+}  // namespace
+}  // namespace idivm

@@ -8,11 +8,12 @@ Two checks, both against working-tree files only (no network):
    pure in-page anchors are skipped; a target's own "#anchor" suffix is
    stripped before the existence check.
 
-2. Public observability headers. Every header under src/obs/ must open
-   with a file-top comment block and carry a comment directly above each
-   namespace-scope class/struct definition — these headers are the
-   documented surface of docs/OBSERVABILITY.md, so an undocumented type
-   is a contract gap, not a style nit.
+2. Public observability and execution headers. Every header under
+   src/obs/ and src/exec/ must open with a file-top comment block and
+   carry a comment directly above each namespace-scope class/struct
+   definition — these headers are the documented surface of
+   docs/OBSERVABILITY.md and of DESIGN.md "Compiled execution", so an
+   undocumented type is a contract gap, not a style nit.
 
 Exits non-zero listing every violation; prints nothing else on success.
 """
@@ -72,7 +73,7 @@ DECL_RE = re.compile(r"^(?:class|struct)\s+(\w+)\s*(?::[^;]*)?\{")
 def check_obs_headers():
     errors = []
     for header in tracked_files(".h"):
-        if not header.startswith("src/obs/"):
+        if not header.startswith(("src/obs/", "src/exec/")):
             continue
         with open(os.path.join(REPO, header), encoding="utf-8") as f:
             lines = f.read().splitlines()
