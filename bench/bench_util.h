@@ -242,11 +242,15 @@ class BenchFlags {
  public:
   // `with_readers` enables --readers (only the concurrent-read bench has
   // reader threads; elsewhere the flag stays unrecognized).
-  explicit BenchFlags(bool with_readers = false)
-      : with_readers_(with_readers) {}
+  // `with_streaming` enables --duration-s / --rate (the streaming bench's
+  // pacing flags) — strictly validated, so "--duration-s forever" or
+  // "--rate 0" fails loudly instead of pacing a run that never ends.
+  explicit BenchFlags(bool with_readers = false, bool with_streaming = false)
+      : with_readers_(with_readers), with_streaming_(with_streaming) {}
 
-  // Consumes --threads / --engine / --readers / --trace-out /
-  // --metrics-out at argv[*i]; returns false for any other flag.
+  // Consumes --threads / --engine / --readers / --duration-s / --rate /
+  // --trace-out / --metrics-out at argv[*i]; returns false for any other
+  // flag.
   bool Match(int argc, char** argv, int* i) {
     if (obs_.Match(argc, argv, i)) return true;
     if (std::strcmp(argv[*i], "--threads") == 0) {
@@ -264,11 +268,25 @@ class BenchFlags {
                                      FlagValue("--readers", argc, argv, i));
       return true;
     }
+    if (with_streaming_ && std::strcmp(argv[*i], "--duration-s") == 0) {
+      duration_s = ParsePositiveIntFlag(
+          "--duration-s", FlagValue("--duration-s", argc, argv, i));
+      return true;
+    }
+    if (with_streaming_ && std::strcmp(argv[*i], "--rate") == 0) {
+      rate = ParsePositiveIntFlag("--rate",
+                                  FlagValue("--rate", argc, argv, i));
+      return true;
+    }
     return false;
   }
 
   // The flags Match() accepts, for the bench's "not recognized" message.
   const char* Supported() const {
+    if (with_streaming_) {
+      return "--threads N, --engine {interpret,compiled}, --duration-s N, "
+             "--rate N, --trace-out PATH, --metrics-out PATH";
+    }
     return with_readers_
                ? "--threads N, --engine {interpret,compiled}, --readers N, "
                  "--trace-out PATH, --metrics-out PATH"
@@ -283,10 +301,13 @@ class BenchFlags {
 
   int threads = 1;
   int readers = 4;
+  int duration_s = 5;  // --duration-s (streaming benches)
+  int rate = 1000;     // --rate, ops/second (streaming benches)
   ExecEngine engine = ExecEngine::kInterpret;
 
  private:
   bool with_readers_;
+  bool with_streaming_;
   ObsFlags obs_;
 };
 

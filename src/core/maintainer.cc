@@ -269,6 +269,10 @@ Status Maintainer::TryMaintain(
         IDIVM_RETURN_IF_ERROR(
             options.fault->Check(StrCat("step:", access[i].label)));
       }
+      if (options.deadline != nullptr) {
+        IDIVM_RETURN_IF_ERROR(
+            options.deadline->Check(StrCat("step:", access[i].label)));
+      }
       if (step.compute.has_value()) {
         const ComputeDiffStep& cs = *step.compute;
         Relation rel = Evaluate(cs.query, step_ctx);
@@ -304,6 +308,10 @@ Status Maintainer::TryMaintain(
         if (options.fault != nullptr) {
           IDIVM_RETURN_IF_ERROR(
               options.fault->Check(StrCat("apply:", as.target_table)));
+        }
+        if (options.deadline != nullptr) {
+          IDIVM_RETURN_IF_ERROR(
+              options.deadline->Check(StrCat("apply:", as.target_table)));
         }
         const bool capture =
             !as.returning_pre.empty() || !as.returning_post.empty();
@@ -364,6 +372,7 @@ Status Maintainer::TryMaintain(
     env.assist_unsafe = &assist_unsafe;
     env.undo = &undo;
     env.fault = options.fault;
+    env.deadline = options.deadline;
     env.max_epoch_ops = options.max_epoch_ops;
     env.threads = options.threads;
     env.trace = trace;

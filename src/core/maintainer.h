@@ -25,6 +25,7 @@
 #include "src/core/modification_log.h"
 #include "src/diff/apply.h"
 #include "src/obs/trace.h"
+#include "src/robust/deadline.h"
 #include "src/robust/epoch.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
@@ -65,6 +66,11 @@ struct MaintainOptions {
   // Fault-injection hook (chaos tests / benches); nullptr leaves the hot
   // path fault-free.
   FaultInjector* fault = nullptr;
+  // Cooperative refresh deadline (robust::Deadline), checked at the same
+  // sites as fault injection in both engines. An expired deadline fails
+  // the epoch with kDeadlineExceeded — roll back, then the ladder — so a
+  // stalled refresh cannot hang a long-running service. nullptr disables.
+  robust::Deadline* deadline = nullptr;
   // Epoch op budget: when > 0, an epoch that mutates more than this many
   // stored-table rows fails with kResourceExhausted (and rolls back).
   // 0 = unlimited.

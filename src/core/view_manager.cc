@@ -174,6 +174,12 @@ bool ViewManager::Update(const std::string& table, const Row& key,
   return ok;
 }
 
+size_t ViewManager::PendingModifications() const {
+  size_t n = 0;
+  for (const auto& [table, mods] : logger_.log()) n += mods.size();
+  return n;
+}
+
 std::string ViewManager::SerializeRepository() const {
   std::string out = StrCat("(repository 1 ", views_.size(), "\n");
   for (const auto& [name, maintainer] : views_) {
@@ -309,6 +315,7 @@ Status ViewManager::TryRefresh(const RefreshOptions& options,
   MaintainOptions mopts;
   mopts.threads = options.script_threads;
   mopts.fault = options.fault;
+  mopts.deadline = options.deadline;
   mopts.max_epoch_ops = options.max_epoch_ops;
   mopts.trace = options.trace;
   mopts.engine = options.engine;

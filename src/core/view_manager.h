@@ -30,6 +30,7 @@
 #include "src/core/modification_log.h"
 #include "src/exec/program_cache.h"
 #include "src/mvcc/snapshot.h"
+#include "src/robust/deadline.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
 
@@ -69,6 +70,13 @@ struct RefreshOptions {
   // Fault-injection hook threaded through to every epoch (and the
   // recompute rung); nullptr disables.
   FaultInjector* fault = nullptr;
+  // Cooperative watchdog deadline for this refresh (robust::Deadline),
+  // checked at every epoch fault site. Once expired, in-flight epochs fail
+  // with kDeadlineExceeded and walk the ladder like any other failure; the
+  // recompute rung itself is not deadline-checked, so the refresh always
+  // terminates with serviceable-or-quarantined views rather than hanging.
+  // The caller arms it; nullptr disables.
+  robust::Deadline* deadline = nullptr;
   // Per-epoch stored-row mutation budget (MaintainOptions::max_epoch_ops).
   int64_t max_epoch_ops = 0;
   // Span recorder threaded through to every epoch (MaintainOptions::trace);
@@ -193,6 +201,10 @@ class ViewManager {
   // logged changes directly; prefer Insert/Delete/Update in eager mode
   // (changes logged here do not trigger eager refresh).
   ModificationLogger& logger() { return logger_; }
+
+  // Modifications accepted since the last refresh — the staleness signal a
+  // serving layer (src/serve) schedules refreshes from.
+  size_t PendingModifications() const;
 
   // Attaches a write-ahead journal (src/persist WalWriter): every accepted
   // modification is journaled before it mutates a table, and Refresh

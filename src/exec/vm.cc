@@ -662,6 +662,9 @@ Status RunMicroOp(ExecState& st, const MicroOp& op,
   if (env.fault != nullptr) {
     IDIVM_RETURN_IF_ERROR(env.fault->Check(StrCat("step:", op.label)));
   }
+  if (env.deadline != nullptr) {
+    IDIVM_RETURN_IF_ERROR(env.deadline->Check(StrCat("step:", op.label)));
+  }
   switch (op.kind) {
     case MicroOp::Kind::kCompute: {
       Frame f;
@@ -709,6 +712,10 @@ Status RunMicroOp(ExecState& st, const MicroOp& op,
       if (env.fault != nullptr) {
         IDIVM_RETURN_IF_ERROR(
             env.fault->Check(StrCat("apply:", st.p->tables[op.table_id])));
+      }
+      if (env.deadline != nullptr) {
+        IDIVM_RETURN_IF_ERROR(env.deadline->Check(
+            StrCat("apply:", st.p->tables[op.table_id])));
       }
       ReturningImages images(target.schema());
       AccessStats apply_before;

@@ -20,6 +20,7 @@
 #include "src/diff/diff_instance.h"
 #include "src/exec/program.h"
 #include "src/obs/trace.h"
+#include "src/robust/deadline.h"
 #include "src/robust/epoch.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
@@ -41,6 +42,8 @@ struct ExecEnv {
   const std::set<std::string>* assist_unsafe = nullptr;
   EpochUndo* undo = nullptr;
   FaultInjector* fault = nullptr;
+  // Cooperative refresh deadline, checked at the same sites as `fault`.
+  robust::Deadline* deadline = nullptr;
   int64_t max_epoch_ops = 0;
   int threads = 1;
   obs::TraceRecorder* trace = nullptr;

@@ -56,6 +56,13 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
@@ -69,14 +76,24 @@ int64_t MetricsRegistry::CounterValue(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
 std::string MetricsRegistry::ExportText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   // One line per metric, sorted by metric name across both kinds.
   std::vector<std::pair<std::string, std::string>> lines;
-  lines.reserve(counters_.size() + histograms_.size());
+  lines.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     lines.emplace_back(name,
                        StrCat("counter ", name, " ", counter->value(), "\n"));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    lines.emplace_back(name,
+                       StrCat("gauge ", name, " ", gauge->value(), "\n"));
   }
   for (const auto& [name, histogram] : histograms_) {
     char sum_text[64];
@@ -109,9 +126,36 @@ bool MetricsRegistry::WriteText(const std::string& path) const {
   return ok;
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    data.cumulative.reserve(Histogram::kBuckets + 1);
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      data.cumulative.push_back(histogram->CumulativeCount(i));
+    }
+    snapshot.histograms.push_back(std::move(data));
+  }
+  return snapshot;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
@@ -122,6 +166,10 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter& GlobalCounter(const std::string& name) {
   return MetricsRegistry::Global().counter(name);
+}
+
+Gauge& GlobalGauge(const std::string& name) {
+  return MetricsRegistry::Global().gauge(name);
 }
 
 Histogram& GlobalHistogram(const std::string& name) {

@@ -45,6 +45,28 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+// A gauge: a value that moves both ways (queue depth, health state).
+// Same relaxed-atomic cost model as Counter.
+class Gauge {
+ public:
+  // Sets the gauge to `value`.
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+
+  // Adds `delta` (may be negative).
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Current value.
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  // Zeroes the gauge (registry Reset; tests and benches only).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // A histogram over non-negative values with fixed power-of-4 bucket
 // boundaries 1, 4, 16, … (12 buckets + overflow): coarse, but stable across
 // runs and cheap to record (one atomic add, no allocation).
@@ -78,7 +100,22 @@ class Histogram {
   std::atomic<int64_t> sum_micros_{0};
 };
 
-// The registry: name -> counter/histogram, created on first use. Lookup
+// A point-in-time copy of a registry's metrics (see
+// MetricsRegistry::Snapshot), each kind sorted by name.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0;
+    // Cumulative counts, index i <= bound 4^i; the last entry is +inf.
+    std::vector<int64_t> cumulative;
+  };
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+};
+
+// The registry: name -> counter/gauge/histogram, created on first use. Lookup
 // takes a mutex (cold path: once per metric per epoch at most); the
 // returned references are stable for the registry's lifetime and their
 // increments are lock-free.
@@ -88,21 +125,30 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  // The counter / histogram named `name`, created zeroed on first use.
+  // The counter / gauge / histogram named `name`, created zeroed on first
+  // use.
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  // The counter's current value, or 0 if it was never created (does not
-  // create it — keeps test snapshots free of read side effects).
+  // The counter's / gauge's current value, or 0 if it was never created
+  // (does not create it — keeps test snapshots free of read side effects).
   int64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
 
   // The stable text export (docs/OBSERVABILITY.md "Metrics text format"):
   //   # idivm-metrics <contract-version>
   //   counter <name> <value>
+  //   gauge <name> <value>
   //   histogram <name> count <n> sum <s> le1 <c0> le4 <c1> ... inf <cN>
   // one line per metric, sorted by name — two registries holding the same
   // values export byte-identical text.
   std::string ExportText() const;
+
+  // A point-in-time copy of every registered metric, for exporters that
+  // render a different wire format (src/obs/prometheus.h). Values are read
+  // under the registry mutex but individually relaxed, like ExportText.
+  MetricsSnapshot Snapshot() const;
 
   // Writes ExportText to `path`. Returns false on I/O error.
   bool WriteText(const std::string& path) const;
@@ -117,12 +163,16 @@ class MetricsRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 // Shorthand for MetricsRegistry::Global().counter(name) — the engine's
 // internal increment sites all funnel through this.
 Counter& GlobalCounter(const std::string& name);
+
+// Shorthand for MetricsRegistry::Global().gauge(name).
+Gauge& GlobalGauge(const std::string& name);
 
 // Shorthand for MetricsRegistry::Global().histogram(name).
 Histogram& GlobalHistogram(const std::string& name);

@@ -1,0 +1,110 @@
+#include "src/obs/prometheus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/common/str_util.h"
+
+namespace idivm::obs {
+
+namespace {
+
+// Splits a registry name like `base{labels}` into its parts; `labels` is
+// empty for unlabelled names.
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string FormatDouble(double value) {
+  char text[64];
+  std::snprintf(text, sizeof(text), "%.6f", value);
+  return text;
+}
+
+struct Family {
+  std::string type;  // "counter" / "gauge" / "histogram"
+  std::vector<std::string> lines;
+};
+
+void AddSample(std::map<std::string, Family>* families,
+               const std::string& name, const std::string& type,
+               const std::string& value) {
+  std::string base, labels;
+  SplitName(name, &base, &labels);
+  Family& family = (*families)[base];
+  if (family.type.empty()) family.type = type;
+  std::string line = base;
+  if (!labels.empty()) line += StrCat("{", labels, "}");
+  family.lines.push_back(StrCat(line, " ", value, "\n"));
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::map<std::string, Family> families;
+  for (const auto& [name, value] : snapshot.counters) {
+    AddSample(&families, name, "counter", StrCat(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    AddSample(&families, name, "gauge", StrCat(value));
+  }
+  for (const MetricsSnapshot::HistogramData& histogram :
+       snapshot.histograms) {
+    std::string base, labels;
+    SplitName(histogram.name, &base, &labels);
+    Family& family = families[base];
+    if (family.type.empty()) family.type = "histogram";
+    const std::string prefix = labels.empty() ? "" : StrCat(labels, ",");
+    for (size_t i = 0; i < histogram.cumulative.size(); ++i) {
+      const bool inf = i + 1 == histogram.cumulative.size();
+      const std::string bound =
+          inf ? "+Inf"
+              : StrCat(static_cast<int64_t>(
+                    Histogram::BucketBound(static_cast<int>(i))));
+      family.lines.push_back(StrCat(base, "_bucket{", prefix, "le=\"",
+                                    bound, "\"} ", histogram.cumulative[i],
+                                    "\n"));
+    }
+    const std::string label_set =
+        labels.empty() ? "" : StrCat("{", labels, "}");
+    family.lines.push_back(StrCat(base, "_sum", label_set, " ",
+                                  FormatDouble(histogram.sum), "\n"));
+    family.lines.push_back(
+        StrCat(base, "_count", label_set, " ", histogram.count, "\n"));
+  }
+
+  std::string out;
+  for (const auto& [base, family] : families) {
+    out += StrCat("# TYPE ", base, " ", family.type, "\n");
+    for (const std::string& line : family.lines) out += line;
+  }
+  return out;
+}
+
+std::string ExportPrometheus() {
+  return ExportPrometheus(MetricsRegistry::Global().Snapshot());
+}
+
+bool WritePrometheus(const MetricsSnapshot& snapshot,
+                     const std::string& path) {
+  const std::string tmp = StrCat(path, ".tmp");
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = ExportPrometheus(snapshot);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool write_ok = written == text.size() && std::fclose(file) == 0;
+  if (!write_ok) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace idivm::obs

@@ -1,0 +1,41 @@
+// Prometheus text exposition (version 0.0.4) for the metrics registry: the
+// wire format a scraper expects, rendered from a MetricsSnapshot. The
+// native export (MetricsRegistry::ExportText) stays the stable contract the
+// tests parse; this shim only re-renders it — counters become `# TYPE ...
+// counter` sample lines, gauges `gauge` lines, histograms the
+// `_bucket{le=...}` / `_sum` / `_count` triple, and labelled registry names
+// like idivm_rule_accesses_total{view="q7",rule="..."} are split into base
+// name + label set so every series of a family shares one TYPE header.
+//
+// There is no HTTP server here (the container has no dependency for one and
+// the engine does not need the attack surface): MaintenanceService's
+// exporter thread writes the exposition to a file, and the quickstart in
+// README.md scrapes it with node_exporter's textfile collector or
+// `curl file://`.
+
+#ifndef IDIVM_OBS_PROMETHEUS_H_
+#define IDIVM_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace idivm::obs {
+
+// Renders `snapshot` in Prometheus text exposition format. Families are
+// sorted by base metric name; series within a family keep the registry's
+// name order. Deterministic: equal snapshots render byte-identically.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+// ExportPrometheus over the global registry's current values.
+std::string ExportPrometheus();
+
+// Writes ExportPrometheus(snapshot) to `path` atomically enough for a
+// textfile scraper (write to `path`.tmp, then rename). Returns false on
+// I/O error.
+bool WritePrometheus(const MetricsSnapshot& snapshot,
+                     const std::string& path);
+
+}  // namespace idivm::obs
+
+#endif  // IDIVM_OBS_PROMETHEUS_H_

@@ -7,6 +7,7 @@
 #include "src/common/str_util.h"
 #include "src/persist/snapshot.h"
 #include "src/persist/wal.h"
+#include "src/persist/wal_set.h"
 
 namespace idivm::persist {
 
@@ -33,7 +34,20 @@ RecoverResult Recover(Database* db, ViewManager* vm,
     }
   }
 
-  const WalReadResult wal = ReadWal(wal_path);
+  // `wal_path` names either a single WalWriter file or a SegmentedWal
+  // directory; both yield the same LSN-ordered record stream.
+  WalReadResult wal;
+  if (IsDirectory(wal_path)) {
+    SegmentedReadResult segmented = ReadSegmentedWal(wal_path);
+    wal.ok = segmented.ok;
+    wal.error = segmented.error;
+    wal.records = std::move(segmented.records);
+    wal.truncated = segmented.truncated;
+    wal.truncate_reason = segmented.truncate_reason;
+    wal.valid_bytes = segmented.torn_valid_bytes;
+  } else {
+    wal = ReadWal(wal_path);
+  }
   if (!wal.ok) {
     result.error = wal.error;
     return result;

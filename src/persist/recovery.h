@@ -56,7 +56,8 @@ struct RecoverResult {
 // `db`, with no views defined). On success the base tables, views and
 // caches reflect the snapshot plus every complete committed batch of the
 // WAL's valid prefix, and `vm` holds the loaded ∆-script repository,
-// ready for new modifications.
+// ready for new modifications. `wal_path` may name a single WalWriter
+// file or a SegmentedWal directory (src/persist/wal_set.h).
 RecoverResult Recover(Database* db, ViewManager* vm,
                       const std::string& snapshot_path,
                       const std::string& wal_path,

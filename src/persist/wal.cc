@@ -145,19 +145,29 @@ std::unique_ptr<WalWriter> WalWriter::Open(const std::string& path,
                                            const WalOptions& options,
                                            uint64_t next_lsn) {
   const bool fresh = next_lsn == 1;
-  const int flags =
-      fresh ? (O_WRONLY | O_CREAT | O_TRUNC) : (O_WRONLY | O_CREAT | O_APPEND);
-  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fresh) return Create(path, options, 1);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) return nullptr;
   std::unique_ptr<WalWriter> writer(
       new WalWriter(path, fd, options, next_lsn));
-  if (fresh) {
-    writer->buffer_.append(kWalMagic, sizeof(kWalMagic));
-    Encoder enc;
-    enc.PutU32(kWalVersion);
-    writer->buffer_.append(enc.buffer());
-    writer->Sync();
-  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  writer->bytes_appended_ = size > 0 ? static_cast<uint64_t>(size) : 0;
+  return writer;
+}
+
+std::unique_ptr<WalWriter> WalWriter::Create(const std::string& path,
+                                             const WalOptions& options,
+                                             uint64_t first_lsn) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(path, fd, options, first_lsn));
+  writer->buffer_.append(kWalMagic, sizeof(kWalMagic));
+  Encoder enc;
+  enc.PutU32(kWalVersion);
+  writer->buffer_.append(enc.buffer());
+  writer->bytes_appended_ = writer->buffer_.size();
+  writer->Sync();
   return writer;
 }
 
@@ -167,7 +177,9 @@ WalWriter::~WalWriter() {
 }
 
 uint64_t WalWriter::AppendRecord(const WalRecord& record) {
+  const size_t before = buffer_.size();
   AppendFrame(EncodeRecord(record), &buffer_);
+  bytes_appended_ += buffer_.size() - before;
   ++records_since_sync_;
   obs::GlobalCounter("idivm_wal_records_total").Increment();
   if (record.type == WalRecordType::kCommit) {

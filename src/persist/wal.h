@@ -75,6 +75,14 @@ class WalWriter : public ModificationJournal {
                                          const WalOptions& options = {},
                                          uint64_t next_lsn = 1);
 
+  // Creates a fresh log (truncating any existing file) whose first record
+  // gets `first_lsn`, which — unlike Open — may be > 1: segment files of a
+  // SegmentedWal (wal_set.h) start mid-sequence. Returns nullptr if the
+  // file cannot be opened.
+  static std::unique_ptr<WalWriter> Create(const std::string& path,
+                                           const WalOptions& options,
+                                           uint64_t first_lsn);
+
   ~WalWriter() override;  // flushes (but does not fsync under kNone)
 
   // ModificationJournal: journals one modification / batch commit /
@@ -98,6 +106,11 @@ class WalWriter : public ModificationJournal {
   uint64_t last_lsn() const { return next_lsn_ - 1; }
   const std::string& path() const { return path_; }
 
+  // File size once buffered appends are flushed (header + every framed
+  // record) — the rotation signal of SegmentedWal, tracked so no stat()
+  // sits on the journal hot path.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
  private:
   WalWriter(std::string path, int fd, const WalOptions& options,
             uint64_t next_lsn);
@@ -111,6 +124,7 @@ class WalWriter : public ModificationJournal {
   uint64_t next_lsn_ = 1;
   std::string buffer_;
   int records_since_sync_ = 0;
+  uint64_t bytes_appended_ = 0;
 };
 
 struct WalReadResult {

@@ -1,0 +1,301 @@
+#include "src/persist/wal_set.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/obs/metrics.h"
+
+namespace idivm::persist {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".wal";
+
+// seg-00000000000000000001.wal -> 1; returns false on any other name.
+bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
+  const size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix + suffix) return false;
+  if (name.compare(0, prefix, kSegmentPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *first_lsn = value;
+  return true;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+// The directory's segment files, sorted by first LSN. Returns false when
+// the directory cannot be listed.
+bool ListSegments(const std::string& dir, std::vector<WalSegmentInfo>* out,
+                  std::string* error) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    *error = StrCat("cannot list WAL directory ", dir);
+    return false;
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t first_lsn = 0;
+    if (!ParseSegmentName(entry->d_name, &first_lsn)) continue;
+    WalSegmentInfo info;
+    info.path = StrCat(dir, "/", entry->d_name);
+    info.first_lsn = first_lsn;
+    info.bytes = FileBytes(info.path);
+    out->push_back(std::move(info));
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+  return true;
+}
+
+}  // namespace
+
+bool IsDirectory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+SegmentedReadResult ReadSegmentedWal(const std::string& dir) {
+  SegmentedReadResult result;
+  if (!ListSegments(dir, &result.segments, &result.error)) return result;
+  result.ok = true;
+  uint64_t prev_lsn = 0;
+  for (WalSegmentInfo& segment : result.segments) {
+    if (result.truncated) break;  // later segments sit past the damage
+    const WalReadResult wal = ReadWal(segment.path);
+    if (!wal.ok) {
+      // An unreadable or mis-headed segment is damage, not a hard error:
+      // everything before it already replays.
+      result.truncated = true;
+      result.truncate_reason = wal.error;
+      result.torn_segment = segment.path;
+      result.torn_valid_bytes = 0;
+      break;
+    }
+    for (const WalRecord& record : wal.records) {
+      if (record.lsn <= prev_lsn) {
+        result.truncated = true;
+        result.truncate_reason =
+            StrCat("non-monotone LSN ", record.lsn, " across segment seam ",
+                   segment.path, " after ", prev_lsn);
+        result.torn_segment = segment.path;
+        result.torn_valid_bytes = 8;  // header only: segment starts damaged
+        break;
+      }
+      prev_lsn = record.lsn;
+      segment.last_lsn = record.lsn;
+      result.records.push_back(record);
+    }
+    if (result.truncated) break;
+    if (wal.truncated) {
+      result.truncated = true;
+      result.truncate_reason = wal.truncate_reason;
+      result.torn_segment = segment.path;
+      result.torn_valid_bytes = wal.valid_bytes;
+      break;
+    }
+  }
+  return result;
+}
+
+SegmentedWal::SegmentedWal(std::string dir,
+                           const SegmentedWalOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+std::string SegmentedWal::SegmentPath(uint64_t first_lsn) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%020llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(first_lsn), kSegmentSuffix);
+  return StrCat(dir_, "/", name);
+}
+
+std::unique_ptr<SegmentedWal> SegmentedWal::Open(
+    const std::string& dir, const SegmentedWalOptions& options) {
+  if (!IsDirectory(dir)) return nullptr;
+  std::unique_ptr<SegmentedWal> wal(new SegmentedWal(dir, options));
+
+  std::vector<WalSegmentInfo> segments;
+  std::string error;
+  if (!ListSegments(dir, &segments, &error)) return nullptr;
+
+  // Find the resume point: the end of the last record a recovery replay
+  // would honour — a COMMIT, CHECKPOINT or QUARANTINE record. Everything
+  // past it (valid-but-uncommitted tail records, torn records, whole later
+  // segments) is discarded, so a writer resuming here can never diverge
+  // from what Recover() reconstructed from the same directory.
+  size_t boundary_segment = segments.size();  // none found yet
+  uint64_t boundary_bytes = 0;
+  uint64_t boundary_lsn = 0;
+  uint64_t prev_lsn = 0;
+  bool damaged = false;
+  for (size_t i = 0; i < segments.size() && !damaged; ++i) {
+    const WalReadResult read = ReadWal(segments[i].path);
+    if (!read.ok) break;  // unreadable: treat like a torn segment
+    for (size_t r = 0; r < read.records.size(); ++r) {
+      const WalRecord& record = read.records[r];
+      if (record.lsn <= prev_lsn) {
+        damaged = true;  // non-monotone across the seam
+        break;
+      }
+      prev_lsn = record.lsn;
+      if (record.type == WalRecordType::kCommit ||
+          record.type == WalRecordType::kCheckpoint ||
+          record.type == WalRecordType::kQuarantine) {
+        boundary_segment = i;
+        boundary_bytes = read.record_end_offsets[r];
+        boundary_lsn = record.lsn;
+      }
+    }
+    if (read.truncated) break;  // torn tail: stop scanning forward
+  }
+
+  if (boundary_segment == segments.size()) {
+    // No committed batch anywhere: start the directory over.
+    for (const WalSegmentInfo& segment : segments) {
+      std::remove(segment.path.c_str());
+    }
+    wal->active_first_lsn_ = 1;
+    wal->active_ = WalWriter::Create(wal->SegmentPath(1), options.wal, 1);
+    if (wal->active_ == nullptr) return nullptr;
+    return wal;
+  }
+
+  WalSegmentInfo& resume = segments[boundary_segment];
+  if (boundary_bytes < FileBytes(resume.path) &&
+      !TruncateFile(resume.path, boundary_bytes)) {
+    return nullptr;
+  }
+  resume.bytes = boundary_bytes;
+  resume.last_lsn = boundary_lsn;
+  for (size_t i = boundary_segment + 1; i < segments.size(); ++i) {
+    std::remove(segments[i].path.c_str());
+  }
+
+  for (size_t i = 0; i < boundary_segment; ++i) {
+    // Closed segments: last_lsn is the record before the next segment's
+    // first (needed only for TruncateBefore's coverage test).
+    segments[i].last_lsn = segments[i + 1].first_lsn - 1;
+    wal->closed_.push_back(segments[i]);
+  }
+  wal->active_first_lsn_ = resume.first_lsn;
+  wal->active_ =
+      WalWriter::Open(resume.path, options.wal, boundary_lsn + 1);
+  if (wal->active_ == nullptr) return nullptr;
+  return wal;
+}
+
+uint64_t SegmentedWal::JournalModification(const std::string& table,
+                                           const Modification& mod) {
+  return active_->JournalModification(table, mod);
+}
+
+uint64_t SegmentedWal::JournalCommit() {
+  const uint64_t lsn = active_->JournalCommit();
+  MaybeRotate();
+  return lsn;
+}
+
+uint64_t SegmentedWal::JournalQuarantine(const std::string& view,
+                                         const std::string& reason) {
+  return active_->JournalQuarantine(view, reason);
+}
+
+uint64_t SegmentedWal::JournalCheckpoint(uint64_t snapshot_lsn,
+                                         const std::string& snapshot_path) {
+  const uint64_t lsn = active_->JournalCheckpoint(snapshot_lsn,
+                                                  snapshot_path);
+  MaybeRotate();
+  return lsn;
+}
+
+void SegmentedWal::MaybeRotate() {
+  if (options_.rotate_bytes == 0) return;
+  if (active_->bytes_appended() < options_.rotate_bytes) return;
+  Rotate();
+}
+
+bool SegmentedWal::Rotate() {
+  const uint64_t last = active_->last_lsn();
+  if (last < active_first_lsn_) return false;  // no records yet
+  active_->Sync();
+  WalSegmentInfo info;
+  info.path = active_->path();
+  info.first_lsn = active_first_lsn_;
+  info.last_lsn = last;
+  info.bytes = active_->bytes_appended();
+  active_.reset();  // close before the new segment opens
+  closed_.push_back(std::move(info));
+  active_first_lsn_ = last + 1;
+  active_ = WalWriter::Create(SegmentPath(active_first_lsn_), options_.wal,
+                              active_first_lsn_);
+  IDIVM_CHECK(active_ != nullptr,
+              StrCat("cannot open WAL segment in ", dir_));
+  obs::GlobalCounter("idivm_wal_rotations_total").Increment();
+  return true;
+}
+
+uint64_t SegmentedWal::TruncateBefore(uint64_t lsn) {
+  uint64_t freed = 0;
+  std::vector<WalSegmentInfo> keep;
+  for (WalSegmentInfo& segment : closed_) {
+    if (segment.last_lsn <= lsn) {
+      if (std::remove(segment.path.c_str()) == 0) {
+        freed += segment.bytes;
+        continue;
+      }
+      // Deletion failure is not fatal — the segment just stays until the
+      // next housekeeping pass gets another shot.
+    }
+    keep.push_back(std::move(segment));
+  }
+  closed_ = std::move(keep);
+  if (freed > 0) {
+    obs::GlobalCounter("idivm_wal_truncated_bytes_total")
+        .Increment(static_cast<int64_t>(freed));
+  }
+  return freed;
+}
+
+void SegmentedWal::Sync() { active_->Sync(); }
+
+uint64_t SegmentedWal::TotalBytes() const {
+  uint64_t total = active_->bytes_appended();
+  for (const WalSegmentInfo& segment : closed_) total += segment.bytes;
+  return total;
+}
+
+std::vector<WalSegmentInfo> SegmentedWal::Segments() const {
+  std::vector<WalSegmentInfo> out = closed_;
+  WalSegmentInfo active;
+  active.path = active_->path();
+  active.first_lsn = active_first_lsn_;
+  active.last_lsn =
+      active_->last_lsn() >= active_first_lsn_ ? active_->last_lsn() : 0;
+  active.bytes = active_->bytes_appended();
+  out.push_back(std::move(active));
+  return out;
+}
+
+}  // namespace idivm::persist

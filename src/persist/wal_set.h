@@ -1,0 +1,137 @@
+// Segmented write-ahead log: the long-running-service WAL. A SegmentedWal
+// journals into a directory of fixed-format segment files (each one a plain
+// WalWriter log, named seg-<first-lsn>.wal), rotating to a fresh segment at
+// the first batch boundary after the active segment passes rotate_bytes, and
+// truncating — deleting whole segments — once a snapshot covers them. Disk
+// usage is therefore bounded by the rotation policy instead of growing for
+// the life of the process (the gap bench_recovery exposed: replay only beats
+// recompute for short WAL tails, so an unbounded tail is also a recovery
+// regression, not just a disk leak).
+//
+// Rotation happens only immediately after a COMMIT or CHECKPOINT record, so
+// a recovery replay batch never begins mid-segment-write; batches may still
+// *span* a seam (the records of one batch end in segment k and its COMMIT
+// opens the read of segment k+1's bytes), which ReadSegmentedWal handles by
+// concatenating segments in LSN order.
+
+#ifndef IDIVM_PERSIST_WAL_SET_H_
+#define IDIVM_PERSIST_WAL_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/persist/wal.h"
+
+namespace idivm::persist {
+
+struct SegmentedWalOptions {
+  // Per-segment append/sync behaviour.
+  WalOptions wal;
+  // Rotate to a new segment at the first batch boundary after the active
+  // segment's size passes this (0 disables size-triggered rotation;
+  // explicit Rotate() still works).
+  uint64_t rotate_bytes = 1 << 20;
+};
+
+// One live segment file.
+struct WalSegmentInfo {
+  std::string path;
+  uint64_t first_lsn = 0;  // first LSN the segment may hold (from its name)
+  uint64_t last_lsn = 0;   // last record it holds (0: empty)
+  uint64_t bytes = 0;      // on-disk size
+};
+
+// The ModificationJournal a MaintenanceService attaches: same record
+// stream as WalWriter, split across rotating segments. Not internally
+// synchronized — journaling is serialized by the caller (the service's
+// pump thread), like every other ModificationJournal.
+class SegmentedWal : public ModificationJournal {
+ public:
+  // Opens (or creates) the segmented log in `dir`. Resuming an existing
+  // directory re-reads the segments in order and truncates back to the
+  // last batch boundary (COMMIT / CHECKPOINT / QUARANTINE record),
+  // discarding torn records, valid-but-uncommitted tail records, and any
+  // segments past the boundary — exactly the records Recover() would
+  // discard, so appending after a crash never diverges from the recovered
+  // state. Returns nullptr when the directory is unusable.
+  static std::unique_ptr<SegmentedWal> Open(
+      const std::string& dir, const SegmentedWalOptions& options = {});
+
+  ~SegmentedWal() override = default;
+
+  // ModificationJournal.
+  uint64_t JournalModification(const std::string& table,
+                               const Modification& mod) override;
+  uint64_t JournalCommit() override;
+  uint64_t JournalQuarantine(const std::string& view,
+                             const std::string& reason) override;
+
+  // Journals a checkpoint (always fsynced), exactly like
+  // WalWriter::JournalCheckpoint.
+  uint64_t JournalCheckpoint(uint64_t snapshot_lsn,
+                             const std::string& snapshot_path);
+
+  // Closes the active segment and opens a fresh one. Returns false (and
+  // rotates nothing) when the active segment holds no records yet.
+  bool Rotate();
+
+  // Deletes every closed segment whose records are all <= `lsn` (covered
+  // by a snapshot). The active segment is never deleted. Returns the bytes
+  // freed; they are also counted in idivm_wal_truncated_bytes_total.
+  uint64_t TruncateBefore(uint64_t lsn);
+
+  // Flush + fsync the active segment.
+  void Sync();
+
+  uint64_t last_lsn() const { return active_->last_lsn(); }
+  const std::string& dir() const { return dir_; }
+
+  // Live on-disk bytes across closed + active segments.
+  uint64_t TotalBytes() const;
+  // Closed segments followed by the active one.
+  std::vector<WalSegmentInfo> Segments() const;
+
+ private:
+  SegmentedWal(std::string dir, const SegmentedWalOptions& options);
+
+  // After a batch-boundary record: rotate when past the size threshold.
+  void MaybeRotate();
+  // Path of the segment whose first record is `first_lsn`.
+  std::string SegmentPath(uint64_t first_lsn) const;
+
+  std::string dir_;
+  SegmentedWalOptions options_;
+  std::vector<WalSegmentInfo> closed_;
+  std::unique_ptr<WalWriter> active_;
+  uint64_t active_first_lsn_ = 1;
+};
+
+// The read side: every record across the directory's segments, in LSN
+// order, stopping at the first torn or corrupt record (later segments are
+// ignored — they sit past the damage in append order).
+struct SegmentedReadResult {
+  bool ok = false;      // directory listable and every read segment valid
+  std::string error;    // set when !ok
+  std::vector<WalRecord> records;
+  // True when reading stopped before the end of the data: `torn_segment`
+  // is the file where it stopped, `torn_valid_bytes` its longest valid
+  // prefix (truncate the file to this length to resume appending).
+  bool truncated = false;
+  std::string truncate_reason;
+  std::string torn_segment;
+  uint64_t torn_valid_bytes = 0;
+  // Every segment found, in LSN order (including ones past the damage).
+  std::vector<WalSegmentInfo> segments;
+};
+
+SegmentedReadResult ReadSegmentedWal(const std::string& dir);
+
+// True when `path` names a directory — how recovery decides between the
+// single-file and segmented read paths.
+bool IsDirectory(const std::string& path);
+
+}  // namespace idivm::persist
+
+#endif  // IDIVM_PERSIST_WAL_SET_H_

@@ -1,0 +1,36 @@
+#include "src/robust/backoff.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace idivm::robust {
+
+Backoff::Backoff(const BackoffOptions& options)
+    : options_(options), rng_(options.seed) {
+  IDIVM_CHECK(options_.base_seconds > 0, "Backoff base must be > 0");
+  IDIVM_CHECK(options_.max_seconds >= options_.base_seconds,
+              "Backoff max must be >= base");
+  IDIVM_CHECK(options_.multiplier >= 1.0, "Backoff multiplier must be >= 1");
+}
+
+double Backoff::NextDelaySeconds() {
+  ++attempts_;
+  double delay = options_.base_seconds;
+  if (prev_seconds_ > 0) {
+    const double hi =
+        std::min(options_.max_seconds, prev_seconds_ * options_.multiplier);
+    delay = options_.base_seconds +
+            rng_.UniformDouble() * (hi - options_.base_seconds);
+  }
+  delay = std::min(delay, options_.max_seconds);
+  prev_seconds_ = delay;
+  return delay;
+}
+
+void Backoff::Reset() {
+  prev_seconds_ = 0;
+  attempts_ = 0;
+}
+
+}  // namespace idivm::robust

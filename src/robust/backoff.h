@@ -1,0 +1,57 @@
+// Retry pacing for the long-running maintenance path: exponential backoff
+// with decorrelated jitter (the AWS architecture-blog variant: each delay is
+// drawn uniformly from [base, prev * 3], capped), seeded explicitly so every
+// retry schedule in tests and benches is reproducible. Used by
+// serve::MaintenanceService for both refresh-failure retries and
+// snapshot-failure retries; kept in src/robust because it is generic retry
+// machinery, not service policy.
+
+#ifndef IDIVM_ROBUST_BACKOFF_H_
+#define IDIVM_ROBUST_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace idivm::robust {
+
+struct BackoffOptions {
+  // First delay, and the lower bound of every jittered draw. Must be > 0.
+  double base_seconds = 0.010;
+  // Upper cap on any returned delay. Must be >= base_seconds.
+  double max_seconds = 1.0;
+  // Growth factor of the decorrelated-jitter window: the next delay is
+  // uniform in [base, prev * multiplier], capped at max. Must be >= 1.
+  double multiplier = 3.0;
+  // Seed for the jitter draws (deterministic schedule per seed).
+  uint64_t seed = 1;
+};
+
+// One retry schedule. Not thread-safe: each retry loop owns its Backoff.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options = {});
+
+  // The next delay in seconds: base_seconds on the first call, then
+  // uniform in [base, previous * multiplier] capped at max_seconds —
+  // exponential growth in expectation, desynchronized across instances
+  // with different seeds.
+  double NextDelaySeconds();
+
+  // Delays handed out since construction / Reset.
+  int attempts() const { return attempts_; }
+
+  // Restarts the schedule (delays return to base_seconds; the jitter
+  // stream continues, so a reset schedule is still deterministic).
+  void Reset();
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double prev_seconds_ = 0;
+  int attempts_ = 0;
+};
+
+}  // namespace idivm::robust
+
+#endif  // IDIVM_ROBUST_BACKOFF_H_

@@ -1,0 +1,50 @@
+#include "src/robust/deadline.h"
+
+#include <chrono>
+
+#include "src/common/str_util.h"
+#include "src/obs/metrics.h"
+
+namespace idivm::robust {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Deadline::Arm(double seconds) {
+  tripped_.store(false, std::memory_order_relaxed);
+  if (seconds <= 0) {
+    deadline_ns_.store(0, std::memory_order_release);
+    return;
+  }
+  deadline_ns_.store(NowNanos() + static_cast<int64_t>(seconds * 1e9),
+                     std::memory_order_release);
+}
+
+void Deadline::Trip() {
+  deadline_ns_.store(1, std::memory_order_release);
+}
+
+bool Deadline::Expired() const {
+  const int64_t at = deadline_ns_.load(std::memory_order_acquire);
+  if (at == 0) return false;
+  return at == 1 || NowNanos() >= at;
+}
+
+Status Deadline::Check(const std::string& site) {
+  if (!Expired()) return OkStatus();
+  if (!tripped_.exchange(true, std::memory_order_acq_rel)) {
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    obs::GlobalCounter("idivm_refresh_deadline_trips_total").Increment();
+  }
+  return DeadlineExceededError(
+      StrCat("refresh deadline expired at site ", site));
+}
+
+}  // namespace idivm::robust

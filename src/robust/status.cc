@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "APPLY_CONFLICT";
     case StatusCode::kInjectedFault:
       return "INJECTED_FAULT";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

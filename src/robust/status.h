@@ -42,6 +42,10 @@ enum class StatusCode {
   kApplyConflict,
   // A FaultInjector fired at this site (chaos testing).
   kInjectedFault,
+  // A cooperative refresh deadline (robust::Deadline) expired mid-epoch:
+  // the watchdog tripped the epoch so the degradation ladder can take over
+  // instead of the service hanging on a stalled refresh.
+  kDeadlineExceeded,
   // Anything else that should be recoverable but has no better bucket.
   kInternal,
 };
@@ -94,6 +98,9 @@ inline Status ApplyConflictError(std::string message) {
 }
 inline Status InjectedFaultError(std::string message) {
   return Status(StatusCode::kInjectedFault, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

@@ -1,0 +1,166 @@
+// robust::Backoff (decorrelated-jitter retry pacing) and robust::Deadline
+// (the per-refresh watchdog) — the two timing primitives the maintenance
+// service leans on. Both are tested for the properties the service
+// depends on: deterministic schedules per seed, delays bounded by
+// [base, max], and one counted trip per armed deadline.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/robust/backoff.h"
+#include "src/robust/deadline.h"
+#include "src/robust/status.h"
+
+namespace idivm {
+namespace {
+
+using robust::Backoff;
+using robust::BackoffOptions;
+using robust::Deadline;
+
+std::vector<double> Delays(Backoff* backoff, int n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(backoff->NextDelaySeconds());
+  return out;
+}
+
+TEST(BackoffTest, FirstDelayIsBase) {
+  BackoffOptions options;
+  options.base_seconds = 0.025;
+  Backoff backoff(options);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.025);
+  EXPECT_EQ(backoff.attempts(), 1);
+}
+
+TEST(BackoffTest, DeterministicPerSeed) {
+  BackoffOptions options;
+  options.base_seconds = 0.010;
+  options.max_seconds = 5.0;
+  options.seed = 42;
+  Backoff a(options);
+  Backoff b(options);
+  EXPECT_EQ(Delays(&a, 20), Delays(&b, 20));
+
+  options.seed = 43;
+  Backoff c(options);
+  Backoff d(options);
+  const std::vector<double> reseeded = Delays(&c, 20);
+  EXPECT_EQ(reseeded, Delays(&d, 20));
+  // A different seed draws a different jitter stream (the first delay is
+  // always base, so compare the jittered tail).
+  Backoff e(BackoffOptions{.seed = 42});
+  EXPECT_NE(Delays(&e, 20), reseeded);
+}
+
+TEST(BackoffTest, DelaysStayWithinBounds) {
+  BackoffOptions options;
+  options.base_seconds = 0.010;
+  options.max_seconds = 0.5;
+  options.multiplier = 3.0;
+  options.seed = 7;
+  Backoff backoff(options);
+  bool grew = false;
+  for (int i = 0; i < 200; ++i) {
+    const double delay = backoff.NextDelaySeconds();
+    EXPECT_GE(delay, options.base_seconds);
+    EXPECT_LE(delay, options.max_seconds);
+    grew = grew || delay > options.base_seconds;
+  }
+  // The jitter window opens past base almost surely within 200 draws.
+  EXPECT_TRUE(grew);
+  EXPECT_EQ(backoff.attempts(), 200);
+}
+
+TEST(BackoffTest, MultiplierOneNeverGrows) {
+  BackoffOptions options;
+  options.base_seconds = 0.020;
+  options.multiplier = 1.0;
+  Backoff backoff(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.020);
+  }
+}
+
+TEST(BackoffTest, ResetRestartsScheduleAtBase) {
+  BackoffOptions options;
+  options.base_seconds = 0.010;
+  options.max_seconds = 10.0;
+  Backoff backoff(options);
+  Delays(&backoff, 10);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), options.base_seconds);
+  EXPECT_EQ(backoff.attempts(), 1);
+}
+
+TEST(BackoffTest, CapAppliesWhenBaseEqualsMax) {
+  BackoffOptions options;
+  options.base_seconds = 0.125;
+  options.max_seconds = 0.125;
+  Backoff backoff(options);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.125);
+  }
+}
+
+// ---- Deadline ----
+
+TEST(DeadlineTest, DefaultConstructedNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(deadline.Check("step:0").ok());
+  EXPECT_EQ(deadline.trips(), 0);
+}
+
+TEST(DeadlineTest, ArmedDeadlineExpiresAndCountsOneTrip) {
+  Deadline deadline;
+  deadline.Arm(0.0005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.Expired());
+  const Status status = deadline.Check("apply:v");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("apply:v"), std::string::npos);
+  // Later checks still fail but the trip was already counted.
+  EXPECT_FALSE(deadline.Check("step:1").ok());
+  EXPECT_FALSE(deadline.Check("step:2").ok());
+  EXPECT_EQ(deadline.trips(), 1);
+}
+
+TEST(DeadlineTest, TripForcesExpiry) {
+  Deadline deadline;
+  deadline.Arm(3600.0);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(deadline.Check("step:0").ok());
+  deadline.Trip();
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.Check("step:1").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.trips(), 1);
+}
+
+TEST(DeadlineTest, DisarmClearsExpiry) {
+  Deadline deadline;
+  deadline.Arm(0.0005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.Expired());
+  deadline.Arm(0);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(deadline.Check("step:0").ok());
+}
+
+TEST(DeadlineTest, RearmCountsANewTrip) {
+  Deadline deadline;
+  for (int round = 1; round <= 3; ++round) {
+    deadline.Arm(0.0001);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_FALSE(deadline.Check("step:0").ok());
+    EXPECT_FALSE(deadline.Check("step:1").ok());
+    EXPECT_EQ(deadline.trips(), round);
+  }
+}
+
+}  // namespace
+}  // namespace idivm

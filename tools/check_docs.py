@@ -8,12 +8,13 @@ Two checks, both against working-tree files only (no network):
    pure in-page anchors are skipped; a target's own "#anchor" suffix is
    stripped before the existence check.
 
-2. Public observability and execution headers. Every header under
-   src/obs/ and src/exec/ must open with a file-top comment block and
-   carry a comment directly above each namespace-scope class/struct
-   definition — these headers are the documented surface of
-   docs/OBSERVABILITY.md and of DESIGN.md "Compiled execution", so an
-   undocumented type is a contract gap, not a style nit.
+2. Public observability, execution and serving headers. Every header
+   under src/obs/, src/exec/ and src/serve/ must open with a file-top
+   comment block and carry a comment directly above each namespace-scope
+   class/struct definition — these headers are the documented surface of
+   docs/OBSERVABILITY.md, of DESIGN.md "Compiled execution" and of
+   DESIGN.md "Service model & housekeeping", so an undocumented type is
+   a contract gap, not a style nit.
 
 Exits non-zero listing every violation; prints nothing else on success.
 """
@@ -73,7 +74,7 @@ DECL_RE = re.compile(r"^(?:class|struct)\s+(\w+)\s*(?::[^;]*)?\{")
 def check_obs_headers():
     errors = []
     for header in tracked_files(".h"):
-        if not header.startswith(("src/obs/", "src/exec/")):
+        if not header.startswith(("src/obs/", "src/exec/", "src/serve/")):
             continue
         with open(os.path.join(REPO, header), encoding="utf-8") as f:
             lines = f.read().splitlines()
