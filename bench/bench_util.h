@@ -335,6 +335,15 @@ struct EngineResult {
     return result.TotalAccesses().TotalAccesses();
   }
   double TotalSeconds() const { return result.TotalSeconds(); }
+  // Cost-model accesses amortized over the ∆-tuples the epoch applied: the
+  // per-tuple price of maintenance, comparable across diff sizes the way
+  // raw totals are not. 0 when the epoch applied nothing.
+  double AccessesPerTuple() const {
+    return result.diff_tuples_applied > 0
+               ? static_cast<double>(TotalAccesses()) /
+                     static_cast<double>(result.diff_tuples_applied)
+               : 0.0;
+  }
 };
 
 // Runs idIVM on a fresh devices/parts database.
@@ -384,12 +393,13 @@ inline void PrintHeader(const std::string& title,
   std::printf("\n%s\n", title.c_str());
   std::printf("%s\n", std::string(title.size(), '=').c_str());
   std::printf(
-      "%-8s %-16s %12s %12s %12s %12s %10s\n", param_name.c_str(), "engine",
-      "diff-comp", "cache-upd", "view-upd", "total-acc", "ms");
+      "%-8s %-16s %12s %12s %12s %12s %9s %10s\n", param_name.c_str(),
+      "engine", "diff-comp", "cache-upd", "view-upd", "total-acc", "acc/tup",
+      "ms");
 }
 
 inline void PrintRow(const std::string& param, const EngineResult& r) {
-  std::printf("%-8s %-16s %12lld %12lld %12lld %12lld %10.2f\n",
+  std::printf("%-8s %-16s %12lld %12lld %12lld %12lld %9.2f %10.2f\n",
               param.c_str(), r.engine.c_str(),
               static_cast<long long>(
                   r.result.diff_computation.accesses.TotalAccesses()),
@@ -398,7 +408,7 @@ inline void PrintRow(const std::string& param, const EngineResult& r) {
               static_cast<long long>(
                   r.result.view_update.accesses.TotalAccesses()),
               static_cast<long long>(r.TotalAccesses()),
-              r.TotalSeconds() * 1000.0);
+              r.AccessesPerTuple(), r.TotalSeconds() * 1000.0);
 }
 
 inline void PrintSpeedupLine(const std::string& param, double accesses_ratio,

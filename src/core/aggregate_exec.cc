@@ -139,6 +139,14 @@ void AggregateExecutor::Contribute(const Row& row, double sign) {
   }
 }
 
+void AggregateExecutor::Fold(const Relation& rel, double sign) {
+  if (accumulator_ != nullptr) {
+    accumulator_->Accumulate(rel, sign, &deltas_);
+    return;
+  }
+  for (const Row& row : rel.rows()) Contribute(row, sign);
+}
+
 Status AggregateExecutor::AccumulateDeltas() {
   for (const AggregateInput& input : step_.inputs) {
     const Relation* pre = nullptr;
@@ -146,19 +154,19 @@ Status AggregateExecutor::AccumulateDeltas() {
     switch (input.type) {
       case DiffType::kInsert:
         IDIVM_RETURN_IF_ERROR(Rows(input.post_rows, &post));
-        for (const Row& row : post->rows()) Contribute(row, +1);
+        Fold(*post, +1);
         break;
       case DiffType::kDelete:
         IDIVM_RETURN_IF_ERROR(Rows(input.pre_rows, &pre));
-        for (const Row& row : pre->rows()) Contribute(row, -1);
+        Fold(*pre, -1);
         break;
       case DiffType::kUpdate: {
         // Sum deltas do not require row alignment: subtract all pre
         // images, add all post images.
         IDIVM_RETURN_IF_ERROR(Rows(input.pre_rows, &pre));
         IDIVM_RETURN_IF_ERROR(Rows(input.post_rows, &post));
-        for (const Row& row : pre->rows()) Contribute(row, -1);
-        for (const Row& row : post->rows()) Contribute(row, +1);
+        Fold(*pre, -1);
+        Fold(*post, +1);
         break;
       }
     }
@@ -249,13 +257,24 @@ Status AggregateExecutor::RunIncrementalWithOpcache() {
     }
     count_col = cache_schema.ColumnIndex("__count");
   }
+  // Index-maintenance hint: the mutator below writes only the sum/cnt/count
+  // columns, never the group-key columns.
+  std::vector<size_t> mutated_cols = sum_cols;
+  mutated_cols.insert(mutated_cols.end(), cnt_cols.begin(), cnt_cols.end());
+  mutated_cols.push_back(count_col);
 
+  // One before-image region for the whole γ step; flushed on every exit
+  // path (including the non-effective-diff error below) so the applied
+  // prefix stays rollback-able.
+  EpochUndoBatch undo(undo_, &opcache);
+  std::vector<Row> pre_images;
+  std::vector<Row> post_images;
   for (const auto& [key, delta] : deltas_) {
     if (DeltaIsZero(delta)) continue;
     Row post_image;
-    std::vector<Row> pre_images;
-    std::vector<Row> post_images;
-    const bool capture = undo_ != nullptr;
+    pre_images.clear();
+    post_images.clear();
+    const bool capture = undo.active();
     const size_t touched = opcache.UpdateRowsWhereEquals(
         key_cols, key,
         [&](Row& row) {
@@ -269,11 +288,12 @@ Status AggregateExecutor::RunIncrementalWithOpcache() {
           row[count_col] = Value(row[count_col].AsInt64() + delta.row_delta);
           post_image = row;
         },
-        capture ? &pre_images : nullptr, capture ? &post_images : nullptr);
-    if (undo_ != nullptr) {
+        capture ? &pre_images : nullptr, capture ? &post_images : nullptr,
+        /*mutated_columns=*/&mutated_cols);
+    if (undo.active()) {
       for (size_t j = 0; j < pre_images.size(); ++j) {
-        undo_->Record(&opcache, Modification{DiffType::kUpdate,
-                                             pre_images[j], post_images[j]});
+        undo.Add(Modification{DiffType::kUpdate, pre_images[j],
+                              post_images[j]});
       }
     }
     int64_t count_post;
@@ -295,8 +315,8 @@ Status AggregateExecutor::RunIncrementalWithOpcache() {
       // matches the compose-time schema.
       row.push_back(Value(delta.row_delta));
       opcache.Insert(row);
-      if (undo_ != nullptr) {
-        undo_->Record(&opcache, Modification{DiffType::kInsert, Row(), row});
+      if (undo.active()) {
+        undo.Add(Modification{DiffType::kInsert, Row(), row});
       }
       post_image = row;
       count_post = delta.row_delta;
@@ -306,9 +326,8 @@ Status AggregateExecutor::RunIncrementalWithOpcache() {
     const int64_t count_pre = count_post - delta.row_delta;
     if (count_post == 0) {
       opcache.DeleteByKey(key);
-      if (undo_ != nullptr) {
-        undo_->Record(&opcache,
-                      Modification{DiffType::kDelete, post_image, Row()});
+      if (undo.active()) {
+        undo.Add(Modification{DiffType::kDelete, post_image, Row()});
       }
       if (count_pre > 0) delete_->Append(key);
       continue;
@@ -384,7 +403,7 @@ void AggregateExecutor::RecomputeGroups(const std::vector<Row>& keys,
     std::vector<Value> mins;
     std::vector<Value> maxs;
   };
-  std::map<Row, Recomputed, RowLess> groups;
+  std::map<Row, Recomputed, GroupKeyLess> groups;
   for (const Row& row : rows.rows()) {
     Row key = ProjectRow(row, bindings_->group_cols);
     Recomputed& g = groups[key];

@@ -72,6 +72,39 @@ struct AggregateBindings {
 Status BindAggregateStep(const AggregateStep& step, const DeltaScript& script,
                          const Database& db, AggregateBindings* out);
 
+// Per-group accumulated deltas for the incremental γ rules. Equal-length
+// vectors, one slot per AggSpec of the step.
+struct GroupDelta {
+  std::vector<double> sum_delta;       // per spec: Σ arg_post − Σ arg_pre
+  std::vector<int64_t> nonnull_delta;  // per spec: Δ(#non-null args)
+  int64_t row_delta = 0;               // Δ(group cardinality)
+};
+
+// Total order on group keys; the map's iteration order defines output diff
+// order, so every accumulation path must use it.
+struct GroupKeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareRows(a, b) < 0;
+  }
+};
+
+using GroupDeltaMap = std::map<Row, GroupDelta, GroupKeyLess>;
+
+// A compiled drop-in for the per-tuple Contribute() loop: folds a whole
+// input relation into the group-delta map with one virtual call per
+// relation instead of per tuple. Implementations (src/exec's specialized
+// γ kernels) must produce deltas bit-identical to Contribute() — same
+// key projection, same NULL handling, same accumulation order within the
+// relation — because the map contents feed the byte-compared output diffs.
+class AggAccumulator {
+ public:
+  virtual ~AggAccumulator() = default;
+
+  // Folds `rel` into `deltas` with `sign` (+1 post-images, −1 pre-images).
+  virtual void Accumulate(const Relation& rel, double sign,
+                          GroupDeltaMap* deltas) = 0;
+};
+
 // Executes one AggregateStep against `transients`. Charges stored-table
 // accesses exactly as the interpreter always has (opcache DML, recompute
 // probe plans); transient reads are free.
@@ -91,23 +124,15 @@ class AggregateExecutor {
   void set_bindings(const AggregateBindings* bindings) {
     prebound_ = bindings;
   }
+  // Specialized accumulation kernel; when null, the generic per-tuple
+  // Contribute() loop runs (the interpreter path).
+  void set_accumulator(AggAccumulator* accumulator) {
+    accumulator_ = accumulator;
+  }
 
   Status Run();
 
  private:
-  // Per-group accumulated deltas for the incremental γ rules.
-  struct GroupDelta {
-    std::vector<double> sum_delta;       // per spec: Σ arg_post − Σ arg_pre
-    std::vector<int64_t> nonnull_delta;  // per spec: Δ(#non-null args)
-    int64_t row_delta = 0;               // Δ(group cardinality)
-  };
-
-  struct RowLess {
-    bool operator()(const Row& a, const Row& b) const {
-      return CompareRows(a, b) < 0;
-    }
-  };
-
   // How RecomputeGroups emits diffs for groups that still exist.
   enum class EmitMode {
     // Deltas are exact: classify via count_pre into insert vs update; the
@@ -124,6 +149,8 @@ class AggregateExecutor {
   Status Rows(const std::string& name, const Relation** out);
   Status BindSpecs();
   void Contribute(const Row& row, double sign);
+  // One input relation through the kernel (when set) or Contribute().
+  void Fold(const Relation& rel, double sign);
   Status AccumulateDeltas();
   bool DeltaIsZero(const GroupDelta& d) const;
   Value Finalize(size_t k, double sum, int64_t nonnull, int64_t rows);
@@ -139,12 +166,13 @@ class AggregateExecutor {
   const DeltaScript* script_schema_lookup_ = nullptr;
   EpochUndo* undo_ = nullptr;
   const AggregateBindings* prebound_ = nullptr;
+  AggAccumulator* accumulator_ = nullptr;
 
   // Runtime-bound storage (used when `prebound_` is null).
   AggregateBindings runtime_bindings_;
   // The active bindings: `prebound_` or `&runtime_bindings_`.
   const AggregateBindings* bindings_ = nullptr;
-  std::map<Row, GroupDelta, RowLess> deltas_;
+  GroupDeltaMap deltas_;
   std::unique_ptr<DiffInstance> update_;
   std::unique_ptr<DiffInstance> insert_;
   std::unique_ptr<DiffInstance> delete_;

@@ -246,17 +246,30 @@ class Composer {
       out_->cache_tables.push_back(cache_name);
       step.input_post_plan = PlanNode::Scan(cache_name, StateTag::kPost);
       // Apply every incoming diff to the cache with RETURNING; the captured
-      // images are the row-granularity changes the γ rules consume.
-      for (const NodeDiff& in : child_diffs) {
+      // images are the row-granularity changes the γ rules consume. Runs of
+      // same-type diffs merge into one batched APPLY step — one fault site,
+      // one RETURNING pair, one γ input — instead of N serialized rules on
+      // the same per-table edge. Concatenating the captured images is
+      // γ-equivalent: the incremental rules subtract all pre images and add
+      // all post images regardless of which diff produced them.
+      for (size_t d = 0; d < child_diffs.size();) {
+        const NodeDiff& in = child_diffs[d];
         ApplyStep apply;
         apply.diff_name = in.name;
         apply.target_table = cache_name;
         apply.phase = MaintPhase::kCacheUpdate;
+        size_t e = d + 1;
+        while (e < child_diffs.size() &&
+               child_diffs[e].schema.type() == in.schema.type()) {
+          apply.extra_diff_names.push_back(child_diffs[e].name);
+          ++e;
+        }
         apply.returning_pre = FreshName(StrCat("ret_pre_", node_name));
         apply.returning_post = FreshName(StrCat("ret_post_", node_name));
         step.inputs.push_back(
             {in.schema.type(), apply.returning_pre, apply.returning_post});
         out_->script.steps.push_back({{}, std::move(apply), {}});
+        d = e;
       }
     } else {
       // Input is a stored base table (or caches are disabled): derive the

@@ -35,7 +35,11 @@ std::string DeltaScript::ToString() const {
                     PlanToString(step.compute->query), "\n     [",
                     step.compute->rule, "]\n");
     } else if (step.apply.has_value()) {
-      out += StrCat("APPLY ", step.apply->diff_name, " TO ",
+      std::string diffs = step.apply->diff_name;
+      for (const std::string& extra : step.apply->extra_diff_names) {
+        diffs += StrCat(" + ", extra);
+      }
+      out += StrCat("APPLY ", diffs, " TO ",
                     step.apply->target_table, " (",
                     MaintPhaseName(step.apply->phase), ")");
       if (!step.apply->returning_pre.empty() ||

@@ -47,6 +47,10 @@ struct ApplyStep {
   std::string diff_name;
   std::string target_table;
   MaintPhase phase = MaintPhase::kViewUpdate;
+  // Same-type diffs merged into this step at compose time (one batched
+  // write per target instead of N serialized APPLY rules). Applied after
+  // `diff_name`, in order, into the same RETURNING capture.
+  std::vector<std::string> extra_diff_names;
   // RETURNING capture: names under which the pre-/post-images of touched
   // target rows are registered as transient relations (empty = no capture).
   std::string returning_pre;

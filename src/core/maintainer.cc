@@ -290,20 +290,38 @@ Status Maintainer::TryMaintain(
         }
       } else if (step.apply.has_value()) {
         const ApplyStep& as = *step.apply;
-        const DiffSchema* schema = view_.script.FindDiffSchema(as.diff_name);
-        if (schema == nullptr) {
-          return CorruptScriptError(
-              StrCat("apply of unregistered diff ", as.diff_name));
+        // The step's diff plus any compose-time-merged diffs: resolve all
+        // up front so an unregistered/unbound diff fails before any
+        // mutation, exactly as the unmerged steps did.
+        struct ResolvedDiff {
+          const std::string* name;
+          const DiffSchema* schema;
+          const Relation* data;
+        };
+        std::vector<ResolvedDiff> diffs;
+        diffs.push_back({&as.diff_name, nullptr, nullptr});
+        for (const std::string& extra : as.extra_diff_names) {
+          diffs.push_back({&extra, nullptr, nullptr});
         }
-        const auto it = step_ctx.transient.find(as.diff_name);
-        if (it == step_ctx.transient.end()) {
-          return CorruptScriptError(
-              StrCat("apply of unbound diff ", as.diff_name));
+        for (ResolvedDiff& d : diffs) {
+          d.schema = view_.script.FindDiffSchema(*d.name);
+          if (d.schema == nullptr) {
+            return CorruptScriptError(
+                StrCat("apply of unregistered diff ", *d.name));
+          }
+          const auto it = step_ctx.transient.find(*d.name);
+          if (it == step_ctx.transient.end()) {
+            return CorruptScriptError(
+                StrCat("apply of unbound diff ", *d.name));
+          }
+          d.data = it->second;
         }
-        DiffInstance inst(*schema, *it->second);
         Table& target = db_->GetTable(as.target_table);
         if (apply_observer_ != nullptr) {
-          apply_observer_(as.target_table, inst);
+          for (const ResolvedDiff& d : diffs) {
+            apply_observer_(as.target_table,
+                            DiffInstance(*d.schema, *d.data));
+          }
         }
         if (options.fault != nullptr) {
           IDIVM_RETURN_IF_ERROR(
@@ -321,8 +339,11 @@ Status Maintainer::TryMaintain(
           apply_before = run.arena.Sum(&db_->stats());
           run.apply_start_us = trace->NowMicros();
         }
-        IDIVM_RETURN_IF_ERROR(TryApplyDiff(
-            inst, target, &run.applied, capture ? &images : nullptr, &undo));
+        for (const ResolvedDiff& d : diffs) {
+          IDIVM_RETURN_IF_ERROR(TryApplyDiff(
+              *d.schema, *d.data, target, &run.applied,
+              capture ? &images : nullptr, &undo, options.fault));
+        }
         if (trace != nullptr) {
           run.apply_end_us = trace->NowMicros();
           run.apply_accesses = run.arena.Sum(&db_->stats()) - apply_before;

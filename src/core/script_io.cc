@@ -753,6 +753,17 @@ std::string SerializeCompiledView(const CompiledView& view) {
       WriteQuoted(as.returning_pre, &out);
       out.push_back(' ');
       WriteQuoted(as.returning_post, &out);
+      // Compose-time-merged diffs ride in a trailing (also ...) block; the
+      // block is omitted when empty so unmerged scripts keep the byte format
+      // every earlier serializer version produced.
+      if (!as.extra_diff_names.empty()) {
+        out.append(" (also");
+        for (const std::string& extra : as.extra_diff_names) {
+          out.push_back(' ');
+          WriteQuoted(extra, &out);
+        }
+        out.push_back(')');
+      }
       out.append(")\n");
     } else if (step.aggregate.has_value()) {
       const AggregateStep& agg = *step.aggregate;
@@ -912,9 +923,18 @@ LoadResult LoadCompiledView(const std::string& text, const Database& db) {
           !reader.ReadQuoted(&step.diff_name) ||
           !reader.ReadQuoted(&step.target_table) ||
           !reader.ReadQuoted(&step.returning_pre) ||
-          !reader.ReadQuoted(&step.returning_post) || !reader.Close()) {
+          !reader.ReadQuoted(&step.returning_post)) {
         return fail("bad apply step");
       }
+      if (reader.Open("also")) {
+        while (!reader.PeekClose()) {
+          std::string extra;
+          if (!reader.ReadQuoted(&extra)) return fail("bad apply step");
+          step.extra_diff_names.push_back(std::move(extra));
+        }
+        if (!reader.Close()) return fail("bad apply step");
+      }
+      if (!reader.Close()) return fail("bad apply step");
       step.phase = static_cast<MaintPhase>(phase);
       view.script.steps.push_back({{}, std::move(step), {}});
       continue;

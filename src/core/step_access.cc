@@ -43,6 +43,11 @@ StepAccess AnalyzeStep(const ScriptStep& step) {
   } else if (step.apply.has_value()) {
     const ApplyStep& as = *step.apply;
     access.transient_reads.insert(as.diff_name);
+    std::string diffs = as.diff_name;
+    for (const std::string& extra : as.extra_diff_names) {
+      access.transient_reads.insert(extra);
+      diffs += "+" + extra;
+    }
     access.table_writes.insert(as.target_table);
     if (!as.returning_pre.empty()) {
       access.transient_writes.insert(as.returning_pre);
@@ -51,7 +56,7 @@ StepAccess AnalyzeStep(const ScriptStep& step) {
       access.transient_writes.insert(as.returning_post);
     }
     access.phase = as.phase;
-    access.label = "apply " + as.diff_name + " -> " + as.target_table;
+    access.label = "apply " + diffs + " -> " + as.target_table;
   } else if (step.aggregate.has_value()) {
     access.exclusive = true;
     access.phase = MaintPhase::kDiffComputation;

@@ -36,10 +36,9 @@ Status FindColumnOr(const Schema& schema, const std::string& name,
   return OkStatus();
 }
 
-Status TryApplyUpdate(const DiffInstance& diff, Table& target,
-                      ApplyResult* out, ReturningImages* returning,
-                      EpochUndo* undo) {
-  const DiffSchema& schema = diff.schema();
+Status TryApplyUpdate(const DiffSchema& schema, const Relation& data,
+                      Table& target, ApplyResult* out,
+                      ReturningImages* returning, EpochUndoBatch* undo) {
   const Schema& target_schema = target.schema();
   const Schema& diff_rel = schema.relation_schema();
 
@@ -65,14 +64,16 @@ Status TryApplyUpdate(const DiffInstance& diff, Table& target,
   }
 
   const bool additive = schema.additive();
-  const bool capture = returning != nullptr || undo != nullptr;
+  const bool capture = returning != nullptr || undo->active();
   ApplyResult result;
-  for (const Row& row : diff.data().rows()) {
+  std::vector<Row> pre;
+  std::vector<Row> post;
+  for (const Row& row : data.rows()) {
     ++result.diff_tuples;
     const Row key = ProjectRow(row, diff_id_cols);
     const Row new_values = ProjectRow(row, diff_post_cols);
-    std::vector<Row> pre;
-    std::vector<Row> post;
+    pre.clear();
+    post.clear();
     const size_t touched = target.UpdateRowsWhereEquals(
         match_cols, key,
         [&](Row& target_row) {
@@ -82,12 +83,13 @@ Status TryApplyUpdate(const DiffInstance& diff, Table& target,
                          : new_values[i];
           }
         },
-        capture ? &pre : nullptr, capture ? &post : nullptr);
+        capture ? &pre : nullptr, capture ? &post : nullptr,
+        /*mutated_columns=*/&set_cols);
     result.rows_touched += static_cast<int64_t>(touched);
     if (touched == 0) ++result.dummy_tuples;
-    if (undo != nullptr) {
+    if (undo->active()) {
       for (size_t i = 0; i < pre.size(); ++i) {
-        undo->Record(&target, Modification{DiffType::kUpdate, pre[i], post[i]});
+        undo->Add(Modification{DiffType::kUpdate, pre[i], post[i]});
       }
     }
     if (returning != nullptr) {
@@ -99,10 +101,9 @@ Status TryApplyUpdate(const DiffInstance& diff, Table& target,
   return OkStatus();
 }
 
-Status TryApplyInsert(const DiffInstance& diff, Table& target,
-                      ApplyResult* out, ReturningImages* returning,
-                      EpochUndo* undo) {
-  const DiffSchema& schema = diff.schema();
+Status TryApplyInsert(const DiffSchema& schema, const Relation& data,
+                      Table& target, ApplyResult* out,
+                      ReturningImages* returning, EpochUndoBatch* undo) {
   const Schema& target_schema = target.schema();
   const Schema& diff_rel = schema.relation_schema();
 
@@ -119,7 +120,7 @@ Status TryApplyInsert(const DiffInstance& diff, Table& target,
   }
 
   ApplyResult result;
-  for (const Row& row : diff.data().rows()) {
+  for (const Row& row : data.rows()) {
     ++result.diff_tuples;
     Row target_row = ProjectRow(row, source_cols);
     // NOT-IN guard: multiple insert i-diffs may try to insert the same tuple.
@@ -129,7 +130,7 @@ Status TryApplyInsert(const DiffInstance& diff, Table& target,
     }
     if (returning != nullptr) returning->post_images.Append(target_row);
     Row undo_copy;
-    if (undo != nullptr) undo_copy = target_row;
+    if (undo->active()) undo_copy = target_row;
     const bool inserted = target.Insert(std::move(target_row));
     if (!inserted) {
       *out += result;
@@ -137,10 +138,8 @@ Status TryApplyInsert(const DiffInstance& diff, Table& target,
           StrCat("non-effective insert i-diff for ", schema.target(),
                  ": key exists with different attribute values"));
     }
-    if (undo != nullptr) {
-      undo->Record(&target,
-                   Modification{DiffType::kInsert, Row(),
-                                std::move(undo_copy)});
+    if (undo->active()) {
+      undo->Add(Modification{DiffType::kInsert, Row(), std::move(undo_copy)});
     }
     ++result.rows_touched;
   }
@@ -148,10 +147,9 @@ Status TryApplyInsert(const DiffInstance& diff, Table& target,
   return OkStatus();
 }
 
-Status TryApplyDelete(const DiffInstance& diff, Table& target,
-                      ApplyResult* out, ReturningImages* returning,
-                      EpochUndo* undo) {
-  const DiffSchema& schema = diff.schema();
+Status TryApplyDelete(const DiffSchema& schema, const Relation& data,
+                      Table& target, ApplyResult* out,
+                      ReturningImages* returning, EpochUndoBatch* undo) {
   const Schema& target_schema = target.schema();
   const Schema& diff_rel = schema.relation_schema();
 
@@ -167,19 +165,20 @@ Status TryApplyDelete(const DiffInstance& diff, Table& target,
                                        schema.target(), &diff_id_cols[i]));
   }
 
-  const bool capture = returning != nullptr || undo != nullptr;
+  const bool capture = returning != nullptr || undo->active();
   ApplyResult result;
-  for (const Row& row : diff.data().rows()) {
+  std::vector<Row> pre;
+  for (const Row& row : data.rows()) {
     ++result.diff_tuples;
     const Row key = ProjectRow(row, diff_id_cols);
-    std::vector<Row> pre;
+    pre.clear();
     const size_t touched =
         target.DeleteWhereEquals(match_cols, key, capture ? &pre : nullptr);
     result.rows_touched += static_cast<int64_t>(touched);
     if (touched == 0) ++result.dummy_tuples;
-    if (undo != nullptr) {
+    if (undo->active()) {
       for (const Row& r : pre) {
-        undo->Record(&target, Modification{DiffType::kDelete, r, Row()});
+        undo->Add(Modification{DiffType::kDelete, r, Row()});
       }
     }
     if (returning != nullptr) {
@@ -192,20 +191,27 @@ Status TryApplyDelete(const DiffInstance& diff, Table& target,
 
 }  // namespace
 
-Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
-                    ReturningImages* returning, EpochUndo* undo) {
+Status TryApplyDiff(const DiffSchema& schema, const Relation& data,
+                    Table& target, ApplyResult* out,
+                    ReturningImages* returning, EpochUndo* undo,
+                    FaultInjector* fault) {
   const ApplyResult before = *out;
   Status status;
-  switch (diff.schema().type()) {
-    case DiffType::kUpdate:
-      status = TryApplyUpdate(diff, target, out, returning, undo);
-      break;
-    case DiffType::kInsert:
-      status = TryApplyInsert(diff, target, out, returning, undo);
-      break;
-    case DiffType::kDelete:
-      status = TryApplyDelete(diff, target, out, returning, undo);
-      break;
+  {
+    EpochUndoBatch batch(undo, &target);
+    switch (schema.type()) {
+      case DiffType::kUpdate:
+        status = TryApplyUpdate(schema, data, target, out, returning, &batch);
+        break;
+      case DiffType::kInsert:
+        status = TryApplyInsert(schema, data, target, out, returning, &batch);
+        break;
+      case DiffType::kDelete:
+        status = TryApplyDelete(schema, data, target, out, returning, &batch);
+        break;
+    }
+    // `batch` flushes here — before the flush fault site below, so a fault
+    // fired at the batch boundary still leaves the applied rows undoable.
   }
   // Metrics count attempted apply work; a later epoch rollback does not
   // subtract it (docs/OBSERVABILITY.md).
@@ -215,7 +221,18 @@ Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
       .Increment(out->rows_touched - before.rows_touched);
   obs::GlobalCounter("idivm_apply_dummy_tuples_total")
       .Increment(out->dummy_tuples - before.dummy_tuples);
+  if (status.ok() && fault != nullptr) {
+    IDIVM_RETURN_IF_ERROR(
+        fault->Check(StrCat("apply-flush:", target.name())));
+  }
   return status;
+}
+
+Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
+                    ReturningImages* returning, EpochUndo* undo,
+                    FaultInjector* fault) {
+  return TryApplyDiff(diff.schema(), diff.data(), target, out, returning, undo,
+                      fault);
 }
 
 ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,

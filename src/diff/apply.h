@@ -20,6 +20,7 @@
 
 #include "src/diff/diff_instance.h"
 #include "src/robust/epoch.h"
+#include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
 #include "src/storage/table.h"
 
@@ -68,9 +69,26 @@ ApplyResult ApplyDiff(const DiffInstance& diff, Table& target,
 // to that point has been recorded in `undo` (when provided), so the
 // enclosing epoch can roll it back. ApplyDiff above is the CHECK-on-error
 // wrapper kept for the infallible call sites.
+//
+// Undo capture is batched: the whole call contributes one before-image
+// region per (epoch, table, APPLY step) via EpochUndo::RecordBatch —
+// flushed on every exit path, so the recorded-prefix contract above holds
+// for errors too. When `fault` is non-null the batch boundary is itself a
+// fault site, "apply-flush:<table>", visited after the mutations and
+// exercised by the chaos/parity site sweeps in both engines.
 Status TryApplyDiff(const DiffInstance& diff, Table& target, ApplyResult* out,
                     ReturningImages* returning = nullptr,
-                    EpochUndo* undo = nullptr);
+                    EpochUndo* undo = nullptr,
+                    FaultInjector* fault = nullptr);
+
+// Copy-free variant: both engines hold the diff's schema and data in
+// separate registers; this overload applies them without materializing a
+// DiffInstance (which would copy the relation once per APPLY step).
+Status TryApplyDiff(const DiffSchema& schema, const Relation& data,
+                    Table& target, ApplyResult* out,
+                    ReturningImages* returning = nullptr,
+                    EpochUndo* undo = nullptr,
+                    FaultInjector* fault = nullptr);
 
 }  // namespace idivm
 

@@ -76,6 +76,9 @@ class ScriptCompiler {
         CollectTransientRefs(step.compute->query, &refs);
       } else if (step.apply.has_value()) {
         refs.insert(step.apply->diff_name);
+        for (const std::string& extra : step.apply->extra_diff_names) {
+          refs.insert(extra);
+        }
       } else if (step.aggregate.has_value()) {
         const AggregateStep& ag = *step.aggregate;
         for (const AggregateInput& in : ag.inputs) {
@@ -246,6 +249,22 @@ class ScriptCompiler {
           op.apply_unbound = true;
         }
       }
+      for (const std::string& extra : as.extra_diff_names) {
+        ExtraApply ex;
+        ex.name = extra;
+        const DiffSchema* eds = p_->script.FindDiffSchema(extra);
+        if (eds == nullptr) {
+          ex.unregistered = true;
+        } else {
+          ex.schema = eds;
+          if (bound_.count(extra) > 0) {
+            ex.in_slot = Slot(extra, eds->relation_schema());
+          } else {
+            ex.unbound = true;
+          }
+        }
+        op.extras.push_back(std::move(ex));
+      }
       op.table_id = InternTable(as.target_table);
       op.capture = !as.returning_pre.empty() || !as.returning_post.empty();
       if (op.capture) {
@@ -269,6 +288,10 @@ class ScriptCompiler {
             BindAggregateStep(ag, p_->script, db_, &op.bindings);
         op.has_bindings = st.ok();
       }
+      // Specialize the accumulation loop when every aggregate argument is
+      // a plain column reference (kernel eligibility); the prebound
+      // bindings supply the group-key offsets.
+      if (op.has_bindings) op.kernel = BuildAggKernel(ag, op.bindings);
       for (const std::string& out_name :
            {ag.out_update, ag.out_insert, ag.out_delete}) {
         const DiffSchema* ds = p_->script.FindDiffSchema(out_name);

@@ -13,6 +13,7 @@
 #define IDIVM_EXEC_PROGRAM_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "src/core/aggregate_exec.h"
 #include "src/core/delta_script.h"
 #include "src/core/step_access.h"
+#include "src/exec/agg_kernel.h"
 #include "src/expr/expr.h"
 
 namespace idivm {
@@ -112,6 +114,16 @@ struct PlanOp {
   PlanPtr plan;
 };
 
+// One compose-time-merged diff riding on a kApply micro-op: applied after
+// the op's main diff, in order, into the same RETURNING capture.
+struct ExtraApply {
+  std::string name;
+  bool unregistered = false;
+  bool unbound = false;
+  const DiffSchema* schema = nullptr;
+  int in_slot = -1;
+};
+
 // One unit of per-step work inside an instruction. Every micro-op keeps the
 // originating script-step index so per-rule arenas, labels, trace spans and
 // fault sites stay per original step — fusion changes data flow, never
@@ -141,10 +153,15 @@ struct MicroOp {
   bool capture = false;
   int pre_slot = -1;
   int post_slot = -1;
+  std::vector<ExtraApply> extras;
   // kAggregate
   const AggregateStep* agg = nullptr;
   bool has_bindings = false;
   AggregateBindings bindings;
+  // Specialized accumulation kernel (null: generic Contribute loop).
+  // Stateless after construction, so the shared cached program can run it
+  // from any epoch/thread.
+  std::shared_ptr<AggKernel> kernel;
 };
 
 // One schedulable unit: a maximal fused run of micro-ops. Its footprint is

@@ -20,12 +20,19 @@ uint64_t Fnv64(const std::string& bytes) {
   return h;
 }
 
+// Version salt mixed into every fingerprint. Bump it whenever lowering
+// changes the compiled form of an unchanged script (new kernels, merged
+// micro-ops, opcode renumbering) so a cache shared across in-process
+// upgrades can never hand back a program compiled by older rules.
+constexpr char kFingerprintSalt[] = "v2:kernels";
+
 }  // namespace
 
 std::shared_ptr<const CompiledProgram> ProgramCache::GetOrCompile(
     const CompiledView& view, const Database& db,
     obs::TraceRecorder* trace) {
-  const uint64_t key = Fnv64(SerializeCompiledView(view));
+  const uint64_t key =
+      Fnv64(kFingerprintSalt + SerializeCompiledView(view));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cache_.find(key);

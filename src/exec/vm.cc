@@ -16,6 +16,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/aggregate_exec.h"
 #include "src/diff/apply.h"
+#include "src/obs/metrics.h"
 
 namespace idivm {
 namespace exec {
@@ -690,24 +691,41 @@ Status RunMicroOp(ExecState& st, const MicroOp& op,
       break;
     }
     case MicroOp::Kind::kApply: {
+      // Resolve the main diff and every compose-time-merged extra before
+      // any mutation, in the interpreter's per-diff check order.
       if (op.apply_unregistered) {
         return CorruptScriptError(
             StrCat("apply of unregistered diff ", op.name));
       }
-      std::optional<DiffInstance> local;
-      const DiffInstance* inst = nullptr;
+      const DiffSchema* schema = nullptr;
+      const Relation* data = nullptr;
       if (op.piped_input) {
-        inst = &**piped;
+        schema = &(*piped)->schema();
+        data = &(*piped)->data();
       } else {
         if (op.apply_unbound) {
           return CorruptScriptError(StrCat("apply of unbound diff ", op.name));
         }
-        local.emplace(*op.diff_schema, st.regs[op.in_slot]);
-        inst = &*local;
+        schema = op.diff_schema;
+        data = &st.regs[op.in_slot];
+      }
+      for (const ExtraApply& ex : op.extras) {
+        if (ex.unregistered) {
+          return CorruptScriptError(
+              StrCat("apply of unregistered diff ", ex.name));
+        }
+        if (ex.unbound) {
+          return CorruptScriptError(StrCat("apply of unbound diff ", ex.name));
+        }
       }
       Table& target = *st.ResolveTable(op.table_id);
       if (env.apply_observer != nullptr && *env.apply_observer) {
-        (*env.apply_observer)(st.p->tables[op.table_id], *inst);
+        (*env.apply_observer)(st.p->tables[op.table_id],
+                              DiffInstance(*schema, *data));
+        for (const ExtraApply& ex : op.extras) {
+          (*env.apply_observer)(st.p->tables[op.table_id],
+                                DiffInstance(*ex.schema, st.regs[ex.in_slot]));
+        }
       }
       if (env.fault != nullptr) {
         IDIVM_RETURN_IF_ERROR(
@@ -723,9 +741,14 @@ Status RunMicroOp(ExecState& st, const MicroOp& op,
         apply_before = run.arena.Sum(&env.db->stats());
         run.apply_start_us = env.trace->NowMicros();
       }
-      IDIVM_RETURN_IF_ERROR(TryApplyDiff(*inst, target, &run.applied,
+      IDIVM_RETURN_IF_ERROR(TryApplyDiff(*schema, *data, target, &run.applied,
                                          op.capture ? &images : nullptr,
-                                         env.undo));
+                                         env.undo, env.fault));
+      for (const ExtraApply& ex : op.extras) {
+        IDIVM_RETURN_IF_ERROR(TryApplyDiff(
+            *ex.schema, st.regs[ex.in_slot], target, &run.applied,
+            op.capture ? &images : nullptr, env.undo, env.fault));
+      }
       if (env.trace != nullptr) {
         run.apply_end_us = env.trace->NowMicros();
         run.apply_accesses = run.arena.Sum(&env.db->stats()) - apply_before;
@@ -743,6 +766,12 @@ Status RunMicroOp(ExecState& st, const MicroOp& op,
       exec.set_script(&st.p->script);
       exec.set_undo(env.undo);
       if (op.has_bindings) exec.set_bindings(&op.bindings);
+      if (op.kernel != nullptr) {
+        exec.set_accumulator(op.kernel.get());
+        obs::GlobalCounter("idivm_agg_kernel_hits_total").Increment(1);
+      } else {
+        obs::GlobalCounter("idivm_agg_kernel_misses_total").Increment(1);
+      }
       IDIVM_RETURN_IF_ERROR(exec.Run());
       break;
     }

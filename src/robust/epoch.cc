@@ -13,6 +13,35 @@ void EpochUndo::Record(Table* table, Modification mod) {
   entries_.emplace_back(table, std::move(mod));
 }
 
+namespace {
+
+size_t ApproxRowBytes(const Row& row) {
+  size_t bytes = row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == DataType::kString) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void EpochUndo::RecordBatch(Table* table, std::vector<Modification> mods) {
+  if (mods.empty()) return;
+  size_t bytes = 0;
+  for (const Modification& mod : mods) {
+    bytes += sizeof(Modification) + ApproxRowBytes(mod.pre) +
+             ApproxRowBytes(mod.post);
+  }
+  obs::GlobalCounter("idivm_undo_batches_total").Increment(1);
+  obs::GlobalCounter("idivm_undo_batched_bytes_total")
+      .Increment(static_cast<int64_t>(bytes));
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.reserve(entries_.size() + mods.size());
+  for (Modification& mod : mods) {
+    entries_.emplace_back(table, std::move(mod));
+  }
+}
+
 size_t EpochUndo::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();

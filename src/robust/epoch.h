@@ -5,6 +5,14 @@
 // every table back to its pre-epoch contents, in reverse record order,
 // before the error surfaces.
 //
+// Capture granularity: hot paths (src/diff/apply.cc, the γ operator-cache
+// loop) accumulate one before-image *region* per (epoch, table, APPLY/γ
+// step) and hand it over with a single RecordBatch call — one lock
+// acquisition per step instead of one per touched row. The region is
+// flattened into the same per-row entry sequence Record would have
+// produced, so size(), RollBack(), MoveEntriesTo() (the MVCC redo
+// hand-off) and TakeEntries() observe byte-identical per-tuple order.
+//
 // Ordering under parallel execution: APPLYs to one target are serialized
 // by the DAG scheduler and blocking γ steps run exclusively (barriers), so
 // entries for any single table are recorded in program order; concurrent
@@ -36,6 +44,14 @@ class EpochUndo {
   // `pre`, updates both (full rows). Thread-safe.
   void Record(Table* table, Modification mod);
 
+  // Records a whole before-image region — every mutation one APPLY/γ step
+  // made to `table`, in application order — under a single lock
+  // acquisition. Equivalent to calling Record once per element of `mods`;
+  // the batch boundary is observable only through the contract-v5
+  // counters (idivm_undo_batches_total, idivm_undo_batched_bytes_total).
+  // No-op for an empty batch. Thread-safe.
+  void RecordBatch(Table* table, std::vector<Modification> mods);
+
   size_t size() const;
 
   // Undoes every recorded mutation in reverse order and clears the log.
@@ -56,6 +72,29 @@ class EpochUndo {
  private:
   mutable std::mutex mutex_;
   std::vector<std::pair<Table*, Modification>> entries_;
+};
+
+// Scope-bound before-image region for one (table, APPLY/γ step): collects
+// the step's modifications locally and records them as one batch when the
+// scope exits — error paths included, so a failed step's applied prefix is
+// still rollback-able. Null `undo` makes the batch inert (no capture).
+class EpochUndoBatch {
+ public:
+  EpochUndoBatch(EpochUndo* undo, Table* table)
+      : undo_(undo), table_(table) {}
+  EpochUndoBatch(const EpochUndoBatch&) = delete;
+  EpochUndoBatch& operator=(const EpochUndoBatch&) = delete;
+  ~EpochUndoBatch() {
+    if (undo_ != nullptr) undo_->RecordBatch(table_, std::move(mods_));
+  }
+
+  bool active() const { return undo_ != nullptr; }
+  void Add(Modification mod) { mods_.push_back(std::move(mod)); }
+
+ private:
+  EpochUndo* undo_;
+  Table* table_;
+  std::vector<Modification> mods_;
 };
 
 }  // namespace idivm

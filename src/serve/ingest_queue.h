@@ -55,11 +55,15 @@ struct IngestOp {
   std::chrono::steady_clock::time_point enqueued;
 };
 
+// Queue bound and the policy applied when producers hit it.
 struct IngestQueueOptions {
   size_t capacity = 1024;
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
 };
 
+// Bounded MPSC modification queue between producer threads and the
+// service's pump thread, implementing the three backpressure policies
+// (block / shed / coalesce) and the queue-depth / staleness metrics.
 class IngestQueue {
  public:
   explicit IngestQueue(const IngestQueueOptions& options);

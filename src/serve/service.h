@@ -55,6 +55,10 @@ enum class ServiceHealth { kHealthy = 0, kDegraded = 1, kQuarantined = 2 };
 
 const char* ServiceHealthName(ServiceHealth health);
 
+// Everything a MaintenanceService is configured with: ingest
+// backpressure, refresh scheduling/execution, durability & housekeeping
+// thresholds, and the Prometheus exporter. Field groups mirror DESIGN.md
+// "Service model & housekeeping".
 struct ServiceOptions {
   IngestQueueOptions queue;
 
@@ -98,6 +102,9 @@ struct ServiceOptions {
   double export_interval_seconds = 1.0;
 };
 
+// Monotonic lifetime totals, snapshotted by MaintenanceService::stats()
+// under the service lock (a coherent point-in-time view, unlike the
+// always-on global metrics they mirror).
 struct ServiceStats {
   uint64_t ops_applied = 0;
   uint64_t ops_rejected = 0;  // duplicate key / absent row

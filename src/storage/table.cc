@@ -163,21 +163,53 @@ size_t Table::UpdateWhereEquals(const std::vector<size_t>& match_columns,
       });
 }
 
+namespace {
+
+bool ColumnsIntersect(const std::vector<size_t>& a,
+                      const std::vector<size_t>& b) {
+  for (size_t x : a) {
+    for (size_t y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 size_t Table::UpdateRowsWhereEquals(const std::vector<size_t>& match_columns,
                                     const Row& key,
                                     const std::function<void(Row&)>& mutator,
                                     std::vector<Row>* pre_images,
-                                    std::vector<Row>* post_images) {
+                                    std::vector<Row>* post_images,
+                                    const std::vector<size_t>* mutated_columns) {
   HashIndex& match_idx = GetOrCreateIndex(match_columns);
   ChargeLookup();
   const std::vector<size_t> slots = IndexProbe(match_idx, key);
+  if (slots.empty()) return 0;
+  // With a mutated-column hint, an index whose key columns the mutator
+  // cannot touch keeps its entries: the slot number is stable and the
+  // hashed key bytes are unchanged, so erase+reinsert would be a no-op
+  // bought with two full key hashes per row.
+  bool reindex_primary = true;
+  std::vector<HashIndex*> reindex;
+  for (HashIndex& idx : secondary_) reindex.push_back(&idx);
+  if (mutated_columns != nullptr) {
+    reindex_primary = ColumnsIntersect(primary_.columns, *mutated_columns);
+    reindex.erase(std::remove_if(reindex.begin(), reindex.end(),
+                                 [&](const HashIndex* idx) {
+                                   return !ColumnsIntersect(idx->columns,
+                                                            *mutated_columns);
+                                 }),
+                  reindex.end());
+  }
   for (size_t slot : slots) {
     if (pre_images != nullptr) pre_images->push_back(rows_[slot]);
-    for (HashIndex& idx : secondary_) IndexErase(idx, slot);
-    IndexErase(primary_, slot);
+    for (HashIndex* idx : reindex) IndexErase(*idx, slot);
+    if (reindex_primary) IndexErase(primary_, slot);
     mutator(rows_[slot]);
-    IndexInsert(primary_, slot);
-    for (HashIndex& idx : secondary_) IndexInsert(idx, slot);
+    if (reindex_primary) IndexInsert(primary_, slot);
+    for (HashIndex* idx : reindex) IndexInsert(*idx, slot);
     if (post_images != nullptr) post_images->push_back(rows_[slot]);
     ChargeWrites(1);
   }

@@ -74,11 +74,20 @@ class Table {
   // touched row — the paper's UPDATE cost). Optionally captures the rows
   // before/after mutation (PostgreSQL's UPDATE .. RETURNING, which the
   // ID-based algorithm uses to obtain cache diffs for free, Appendix A.2).
+  //
+  // When `mutated_columns` is non-null it is a caller contract that
+  // `mutator` writes no column outside that set; indexes whose key columns
+  // are disjoint from it keep their entries (slots are stable and the
+  // hashed key bytes cannot change), skipping the erase/rehash/insert
+  // round-trip per index per row. Charges are identical either way — the
+  // cost model counts tuple writes, not index touches.
   size_t UpdateRowsWhereEquals(const std::vector<size_t>& match_columns,
                                const Row& key,
                                const std::function<void(Row&)>& mutator,
                                std::vector<Row>* pre_images = nullptr,
-                               std::vector<Row>* post_images = nullptr);
+                               std::vector<Row>* post_images = nullptr,
+                               const std::vector<size_t>* mutated_columns =
+                                   nullptr);
 
   // ---- Read API (charges index_lookups / tuple_reads) ----
 

@@ -14,6 +14,7 @@
 #include "src/core/maintainer.h"
 #include "src/core/modification_log.h"
 #include "src/core/view_manager.h"
+#include "src/obs/metrics.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/status.h"
 #include "tests/test_util.h"
@@ -126,6 +127,71 @@ TEST_P(ChaosMaintainTest, EveryFaultSiteRollsBackExactly) {
     m.Maintain(net);
     testing::ExpectViewMatchesRecompute(&db, plan, "v", context);
   }
+}
+
+// Batched undo capture (one before-image region per APPLY instead of one
+// per tuple): the flush boundary "apply-flush:<table>" is on the fault
+// surface, and a fault fired there — after the whole batch reached the
+// epoch undo — must still roll every table back byte-identically from the
+// batched entries.
+TEST_P(ChaosMaintainTest, ApplyFlushFaultRollsBackBatchedCapture) {
+  const std::string shape = GetParam();
+  uint64_t total_sites = 0;
+  {
+    Database db;
+    testing::LoadRunningExample(&db);
+    const PlanPtr plan = shape == "agg"
+                             ? testing::RunningExampleAggPlan(db)
+                             : testing::RunningExampleSpjPlan(db);
+    Maintainer m(&db, CompileView("v", plan, db));
+    const auto net = MakeNetChanges(&db);
+    FaultInjector probe;
+    MaintainResult result;
+    MaintainOptions options;
+    options.fault = &probe;
+    const int64_t batches_before =
+        obs::MetricsRegistry::Global().CounterValue(
+            "idivm_undo_batches_total");
+    ASSERT_TRUE(m.TryMaintain(net, options, &result).ok());
+    // The clean epoch captured whole-APPLY undo batches (contract v5).
+    EXPECT_GT(obs::MetricsRegistry::Global().CounterValue(
+                  "idivm_undo_batches_total"),
+              batches_before);
+    total_sites = probe.sites_visited();
+  }
+  ASSERT_GT(total_sites, 0u);
+
+  int flush_sites = 0;
+  for (uint64_t site = 0; site < total_sites; ++site) {
+    Database db;
+    testing::LoadRunningExample(&db);
+    const PlanPtr plan = shape == "agg"
+                             ? testing::RunningExampleAggPlan(db)
+                             : testing::RunningExampleSpjPlan(db);
+    Maintainer m(&db, CompileView("v", plan, db));
+    const auto net = MakeNetChanges(&db);
+    const std::map<std::string, std::string> before = SnapshotAll(&db);
+
+    FaultPlan fault;
+    fault.fire_at_site = site;
+    FaultInjector injector(fault);
+    MaintainOptions options;
+    options.fault = &injector;
+    MaintainResult result;
+    const Status status = m.TryMaintain(net, options, &result);
+    ASSERT_FALSE(status.ok()) << shape << " site " << site;
+    if (status.ToString().find("apply-flush:") == std::string::npos) {
+      continue;
+    }
+    ++flush_sites;
+    const std::string context =
+        shape + " flush site " + std::to_string(site);
+    ExpectTablesEqual(&db, before, context);
+    m.Maintain(net);
+    testing::ExpectViewMatchesRecompute(&db, plan, "v", context);
+  }
+  // Every shape has at least one APPLY, hence at least one flush site.
+  EXPECT_GT(flush_sites, 0) << shape;
 }
 
 TEST_P(ChaosMaintainTest, EpochOpBudgetRollsBack) {

@@ -82,7 +82,8 @@ std::map<std::string, int64_t> CounterSnapshot() {
 // move by exactly the same amount.
 bool IsEngineSpecificCounter(const std::string& name) {
   return name.find("program_cache") != std::string::npos ||
-         name.find("fused_steps") != std::string::npos;
+         name.find("fused_steps") != std::string::npos ||
+         name.find("agg_kernel") != std::string::npos;
 }
 
 std::map<std::string, int64_t> CounterDelta(
@@ -199,6 +200,67 @@ TEST_P(ExecParityShapeTest, EveryFaultSiteDivergesNowhere) {
     EXPECT_NE(interpret.status, OkStatus().ToString()) << context;
     ExpectOutcomesEqual(interpret, compiled, context);
   }
+}
+
+// Batched undo capture: the per-APPLY flush boundary ("apply-flush:<t>")
+// is a real fault site in both engines. A fault fired there lands *after*
+// the APPLY's whole before-image batch reached the epoch undo, so the
+// faulted run must still show the contract-v5 batch counters — and roll
+// back from those batched entries identically in both engines (the
+// byte-identity against pre-epoch state is pinned by chaos_maintain_test's
+// all-site sweep; parity here transfers it to the compiled engine).
+TEST_P(ExecParityShapeTest, ApplyFlushFaultRollsBackBatchedUndo) {
+  const std::string shape = GetParam();
+  const EpochOutcome probe =
+      RunEpoch(shape, ExecEngine::kInterpret, /*threads=*/1);
+  ASSERT_EQ(probe.status, OkStatus().ToString());
+  // A clean epoch records whole-APPLY undo batches.
+  ASSERT_GT(probe.counters.count("idivm_undo_batches_total"), 0u) << shape;
+  ASSERT_GT(probe.counters.at("idivm_undo_batches_total"), 0) << shape;
+
+  int flush_sites = 0;
+  int flush_sites_with_batches = 0;
+  for (uint64_t site = 0; site < probe.sites_visited; ++site) {
+    const EpochOutcome interpret =
+        RunEpoch(shape, ExecEngine::kInterpret, /*threads=*/1, site);
+    if (interpret.status.find("apply-flush:") == std::string::npos) continue;
+    ++flush_sites;
+    const std::string context = shape + " flush site " + std::to_string(site);
+    const EpochOutcome compiled =
+        RunEpoch(shape, ExecEngine::kCompiled, /*threads=*/1, site);
+    ExpectOutcomesEqual(interpret, compiled, context);
+    // The batch flushed before the site fired: a faulted epoch whose
+    // applies modified anything recorded batched before-images, then
+    // rolled them back. (An APPLY of a no-op diff flushes an empty batch,
+    // which is counterless by design — so assert over the whole sweep.)
+    const auto batches = interpret.counters.find("idivm_undo_batches_total");
+    if (batches != interpret.counters.end() && batches->second > 0) {
+      ++flush_sites_with_batches;
+    }
+  }
+  EXPECT_GT(flush_sites, 0) << shape;
+  EXPECT_GT(flush_sites_with_batches, 0) << shape;
+}
+
+// The specialized γ kernel engages on the compiled agg shape and never on
+// the interpreter; the eligible running-example γ step must always hit,
+// never fall back to the generic Contribute loop.
+TEST(ExecParityTest, CompiledAggEngagesKernel) {
+  const auto counter = [](const char* name) {
+    return obs::MetricsRegistry::Global().CounterValue(name);
+  };
+  const int64_t hits0 = counter("idivm_agg_kernel_hits_total");
+  const int64_t misses0 = counter("idivm_agg_kernel_misses_total");
+  const EpochOutcome interpret =
+      RunEpoch("agg", ExecEngine::kInterpret, /*threads=*/1);
+  ASSERT_EQ(interpret.status, OkStatus().ToString());
+  EXPECT_EQ(counter("idivm_agg_kernel_hits_total"), hits0);
+  EXPECT_EQ(counter("idivm_agg_kernel_misses_total"), misses0);
+  const EpochOutcome compiled =
+      RunEpoch("agg", ExecEngine::kCompiled, /*threads=*/1);
+  ASSERT_EQ(compiled.status, OkStatus().ToString());
+  EXPECT_GT(counter("idivm_agg_kernel_hits_total"), hits0);
+  EXPECT_EQ(counter("idivm_agg_kernel_misses_total"), misses0);
 }
 
 // The epoch op budget trips at the same point with the same message, and

@@ -330,5 +330,80 @@ TEST(MvccParallelTest, FaultedEpochInvisibleToReaders) {
   ExpectViewMatchesRecompute(&db, agg, "vagg");
 }
 
+// Batched undo × MVCC: a fault at an "apply-flush:<table>" site fires
+// *after* that APPLY's whole before-image batch reached the epoch undo.
+// The rolled-back epoch must stay invisible to snapshot readers — a fresh
+// snapshot still serves the exact pre-refresh version — and RepairView
+// publishes a healed version.
+TEST(MvccTest, FaultedEpochAfterUndoFlushInvisibleToSnapshots) {
+  const auto seed_changes = [](ViewManager* vm) {
+    ASSERT_TRUE(vm->Update("parts", {Value("P1")}, {"price"},
+                           {Value(11.0)}));
+    ASSERT_TRUE(vm->Insert("parts", {Value("P5"), Value(50.0)}));
+    ASSERT_TRUE(vm->Insert("devices_parts", {Value("D1"), Value("P5")}));
+  };
+
+  // Probe the fault surface of one clean refresh.
+  uint64_t total_sites = 0;
+  {
+    Database db;
+    LoadRunningExample(&db);
+    ViewManager vm(&db);
+    vm.DefineView("v", RunningExampleAggPlan(db));
+    vm.EnableSnapshotReads();
+    seed_changes(&vm);
+    FaultInjector probe;
+    RefreshOptions options;
+    options.fault = &probe;
+    RefreshReport report;
+    ASSERT_TRUE(vm.TryRefresh(options, &report).ok());
+    total_sites = probe.sites_visited();
+  }
+  ASSERT_GT(total_sites, 0u);
+
+  int flush_sites = 0;
+  for (uint64_t site = 0; site < total_sites; ++site) {
+    Database db;
+    LoadRunningExample(&db);
+    ViewManager vm(&db);
+    const PlanPtr plan = RunningExampleAggPlan(db);
+    vm.DefineView("v", plan);
+    vm.EnableSnapshotReads();
+    const Snapshot pre = vm.OpenSnapshot();
+    const uint64_t epoch_pre = pre.Read("v").epoch();
+    const std::string bytes_pre = Fingerprint(pre.Read("v").Scan());
+    seed_changes(&vm);
+
+    FaultPlan fplan;
+    fplan.fire_at_site = site;
+    fplan.max_fires = 1;
+    FaultInjector injector(fplan);
+    RefreshOptions options;
+    options.degrade = DegradePolicy::kFailFast;
+    options.fault = &injector;
+    RefreshReport report;
+    const Status status = vm.TryRefresh(options, &report);
+    ASSERT_FALSE(status.ok()) << "site " << site;
+    if (status.ToString().find("apply-flush:") == std::string::npos) {
+      continue;
+    }
+    ++flush_sites;
+    const std::string context = "flush site " + std::to_string(site);
+    // The batch reached the epoch undo before the fault; the rolled-back
+    // epoch never published, so a fresh snapshot still serves the exact
+    // pre-refresh version.
+    const Snapshot post = vm.OpenSnapshot();
+    EXPECT_EQ(post.Read("v").epoch(), epoch_pre) << context;
+    EXPECT_EQ(Fingerprint(post.Read("v").Scan()), bytes_pre) << context;
+    // Repair recomputes and republishes: the next snapshot serves it.
+    vm.RepairView("v");
+    ExpectViewMatchesRecompute(&db, plan, "v", context);
+    const Snapshot healed = vm.OpenSnapshot();
+    EXPECT_TRUE(healed.Read("v").Scan().BagEquals(Recompute(&db, plan)))
+        << context;
+  }
+  EXPECT_GT(flush_sites, 0);
+}
+
 }  // namespace
 }  // namespace idivm

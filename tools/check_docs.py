@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Documentation lint for CI (the docs-check job).
 
-Two checks, both against working-tree files only (no network):
+Three checks, all against working-tree files only (no network):
 
 1. Intra-repo markdown links. Every relative link target in a tracked
-   *.md file must exist on disk. External schemes (http/https/mailto) and
-   pure in-page anchors are skipped; a target's own "#anchor" suffix is
-   stripped before the existence check.
+   *.md file must exist on disk, and a link's "#anchor" fragment must
+   resolve to a real heading of the target markdown file (GitHub slug
+   rules) — a link to a section that was renamed or deleted fails, not
+   just a link to a missing file. External schemes (http/https/mailto)
+   are skipped; in-page "#anchor" links are checked against the current
+   file's own headings.
 
 2. Public observability, execution and serving headers. Every header
    under src/obs/, src/exec/ and src/serve/ must open with a file-top
@@ -15,6 +18,10 @@ Two checks, both against working-tree files only (no network):
    docs/OBSERVABILITY.md, of DESIGN.md "Compiled execution" and of
    DESIGN.md "Service model & housekeeping", so an undocumented type is
    a contract gap, not a style nit.
+
+3. The architecture map. docs/ARCHITECTURE.md must mention every
+   src/<subsystem> directory that holds tracked sources, so the
+   subsystem map cannot silently fall behind the tree.
 
 Exits non-zero listing every violation; prints nothing else on success.
 """
@@ -45,6 +52,32 @@ def strip_code(text):
     return re.sub(r"`[^`\n]*`", "", text)
 
 
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+_anchor_cache = {}
+
+
+def heading_anchors(path):
+    """The GitHub-style anchor slugs of a markdown file's headings."""
+    if path in _anchor_cache:
+        return _anchor_cache[path]
+    with open(path, encoding="utf-8") as f:
+        text = re.sub(r"```.*?```", "", f.read(), flags=re.DOTALL)
+    anchors, counts = set(), {}
+    for line in text.splitlines():
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        title = match.group(1).strip().replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).strip()
+        slug = slug.replace(" ", "-")
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    _anchor_cache[path] = anchors
+    return anchors
+
+
 def check_links():
     errors = []
     for md in tracked_files(".md"):
@@ -52,19 +85,33 @@ def check_links():
         with open(path, encoding="utf-8") as f:
             text = strip_code(f.read())
         for target in LINK_RE.findall(text):
-            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            if target.startswith(SKIP_SCHEMES):
                 continue
-            resolved = target.split("#", 1)[0]
-            if not resolved:
+            resolved, _, fragment = target.partition("#")
+            if not resolved and not fragment:
                 continue
-            base = REPO if resolved.startswith("/") else os.path.dirname(path)
-            full = os.path.normpath(os.path.join(base, resolved.lstrip("/")))
-            if not full.startswith(REPO + os.sep) and full != REPO:
-                # Escapes the repo (GitHub's ../../actions badge idiom):
-                # a URL path on github.com, not a checkable file.
-                continue
-            if not os.path.exists(full):
-                errors.append(f"{md}: broken link -> {target}")
+            if resolved:
+                base = (REPO if resolved.startswith("/")
+                        else os.path.dirname(path))
+                full = os.path.normpath(
+                    os.path.join(base, resolved.lstrip("/")))
+                if not full.startswith(REPO + os.sep) and full != REPO:
+                    # Escapes the repo (GitHub's ../../actions badge
+                    # idiom): a URL path on github.com, not a checkable
+                    # file.
+                    continue
+                if not os.path.exists(full):
+                    errors.append(f"{md}: broken link -> {target}")
+                    continue
+            else:
+                full = path  # in-page anchor
+            # A fragment must name a real heading of the target markdown
+            # file — links to renamed/deleted sections fail here.
+            if fragment and full.endswith(".md"):
+                if fragment.lower() not in heading_anchors(full):
+                    errors.append(
+                        f"{md}: broken anchor -> {target} "
+                        f"(no such heading)")
     return errors
 
 
@@ -94,8 +141,27 @@ def check_obs_headers():
     return errors
 
 
+def check_architecture_map():
+    """Every src/<subsystem> with tracked sources appears in the map."""
+    arch = os.path.join(REPO, "docs", "ARCHITECTURE.md")
+    if not os.path.exists(arch):
+        return ["docs/ARCHITECTURE.md: missing (the subsystem map)"]
+    with open(arch, encoding="utf-8") as f:
+        text = f.read()
+    subsystems = set()
+    for tracked in tracked_files(".cc") + tracked_files(".h"):
+        parts = tracked.split("/")
+        if len(parts) >= 3 and parts[0] == "src":
+            subsystems.add(parts[1])
+    return [
+        f"docs/ARCHITECTURE.md: src/{sub} is not on the subsystem map"
+        for sub in sorted(subsystems) if f"src/{sub}" not in text
+    ]
+
+
 def main():
-    errors = check_links() + check_obs_headers()
+    errors = (check_links() + check_obs_headers() +
+              check_architecture_map())
     for error in errors:
         print(error, file=sys.stderr)
     if errors:
